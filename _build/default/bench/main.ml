@@ -1,0 +1,157 @@
+(* Benchmark and experiment harness.
+
+     dune exec bench/main.exe              -- everything, scaled-down
+     dune exec bench/main.exe -- table2    -- one artifact (table2|table3|
+                                              table4|figure6|ablation|micro)
+     dune exec bench/main.exe -- full      -- paper-scale workloads (slow)
+
+   Every table and figure of the paper's evaluation has (i) a harness
+   that prints the same rows/series (lib/harness) and (ii) a Bechamel
+   micro-benchmark of its computational kernel below. *)
+
+module S = Machine.Sched
+
+(* ---- Bechamel micro-benchmarks ---- *)
+
+let fast_fair_trace ops seed =
+  (Pmapps.Driver.run_kv_ycsb (module Pmapps.Fast_fair) ~seed ~ops ()).S.trace
+
+let seed_workload =
+  lazy (Workload.Seeds.corpus ~count:1 ~ops_per_seed:400 ()).(0)
+
+let micro () =
+  let open Bechamel in
+  (* Pre-generate the inputs outside the measured closures. *)
+  let trace_1k = fast_fair_trace 1_000 42 in
+  let trace_4k = fast_fair_trace 4_000 42 in
+  let seed_ops = Lazy.force seed_workload in
+  let per_thread = Workload.Seeds.split ~threads:8 seed_ops in
+  let tests =
+    [
+      (* Table 2 kernel: the full pipeline over an application trace. *)
+      Test.make ~name:"table2/pipeline-fast-fair-1k"
+        (Staged.stage (fun () -> Hawkset.Pipeline.races trace_1k));
+      (* Table 3 kernels: what each tool pays per seed workload. *)
+      Test.make ~name:"table3/hawkset-per-seed"
+        (Staged.stage (fun () ->
+             let report =
+               Pmapps.Driver.run_kv
+                 (module Pmapps.Fast_fair)
+                 ~seed:7 ~load:[] ~per_thread ()
+             in
+             Hawkset.Pipeline.races report.Machine.Sched.trace));
+      Test.make ~name:"table3/pmrace-per-execution"
+        (Staged.stage (fun () ->
+             Pmapps.Driver.run_kv
+               (module Pmapps.Fast_fair)
+               ~seed:7
+               ~policy:
+                 (Machine.Sched.Delay_injection
+                    { probability = 0.05; duration = 40 })
+               ~observe:true ~load:[] ~per_thread ()));
+      (* Table 4 kernels: stage 2 on and off. *)
+      Test.make ~name:"table4/analysis-with-irh"
+        (Staged.stage (fun () -> Hawkset.Pipeline.races trace_1k));
+      Test.make ~name:"table4/analysis-without-irh"
+        (Staged.stage (fun () ->
+             Hawkset.Pipeline.races ~config:Hawkset.Pipeline.no_irh trace_1k));
+      (* Figure 6 kernel: analysis cost vs trace size (sublinearity). *)
+      Test.make ~name:"figure6/analysis-4k"
+        (Staged.stage (fun () -> Hawkset.Pipeline.races trace_4k));
+      (* Ablation kernels. *)
+      Test.make ~name:"ablation/traditional-lockset"
+        (Staged.stage (fun () -> Baselines.Eraser.analyse trace_1k));
+      Test.make ~name:"ablation/no-vector-clocks"
+        (Staged.stage (fun () ->
+             Hawkset.Pipeline.races
+               ~config:
+                 { Hawkset.Pipeline.default with vector_clocks = false }
+               trace_1k));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"hawkset" ~fmt:"%s %s" tests in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (v :: _) -> v
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_string (Harness.Tables.section "Bechamel micro-benchmarks");
+  print_string
+    (Harness.Tables.render
+       ~headers:[ "Benchmark"; "Time per run" ]
+       ~rows:
+         (List.map
+            (fun (name, ns) ->
+              let pretty =
+                if Float.is_nan ns then "n/a"
+                else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+                else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+                else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+                else Printf.sprintf "%.0f ns" ns
+              in
+              [ name; pretty ])
+            rows))
+
+(* ---- experiment drivers ---- *)
+
+let table1 ~full =
+  ignore full;
+  print_string (Harness.Table1.to_string ())
+
+let table2 ~full =
+  let sizes = if full then [ 1_000; 10_000; 100_000 ] else [ 1_000; 6_000 ] in
+  print_string (Harness.Table2.to_string (Harness.Table2.run ~sizes ()))
+
+let table3 ~full =
+  let seeds = if full then 240 else 24 in
+  let pmrace_executions = if full then 40 else 12 in
+  print_string
+    (Harness.Table3.to_string (Harness.Table3.run ~seeds ~pmrace_executions ()))
+
+let table4 ~full =
+  let ops = if full then 100_000 else 2_000 in
+  print_string (Harness.Table4.to_string (Harness.Table4.run ~ops ()))
+
+let figure6 ~full =
+  let sizes =
+    if full then [ 1_000; 10_000; 100_000 ] else [ 250; 1_000; 4_000 ]
+  in
+  print_string (Harness.Figure6.to_string (Harness.Figure6.run ~sizes ()))
+
+let ablation ~full =
+  let ops = if full then 10_000 else 1_500 in
+  print_string (Harness.Ablation.to_string (Harness.Ablation.run ~ops ()))
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let full = List.mem "full" args || List.mem "--full" args in
+  let wants name = List.mem name args in
+  let any =
+    List.exists wants
+      [ "table1"; "table2"; "table3"; "table4"; "figure6"; "ablation";
+        "micro" ]
+  in
+  let run name f = if (not any) || wants name then f ~full in
+  run "table1" table1;
+  run "table2" table2;
+  run "table3" table3;
+  run "table4" table4;
+  run "figure6" figure6;
+  run "ablation" ablation;
+  if (not any) || wants "micro" then micro ()

@@ -1,0 +1,297 @@
+(* hawkset — command-line front end.
+
+   Subcommands:
+     run         run one application under a detector and print reports
+     list-apps   show the registered applications (Table 1)
+     table2/table3/table4/figure6/ablation
+                 regenerate the paper's tables and figures *)
+
+open Cmdliner
+
+let app_arg =
+  let doc =
+    "Application to analyse. One of: "
+    ^ String.concat ", "
+        (List.map (fun e -> e.Pmapps.Registry.reg_name) Pmapps.Registry.all)
+  in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "a"; "app" ] ~docv:"APP" ~doc)
+
+let ops_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "n"; "ops" ] ~docv:"N" ~doc:"Main-phase operations.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+
+let detector_arg =
+  let det =
+    Arg.enum [ ("hawkset", `Hawkset); ("eraser", `Eraser); ("pmrace", `Pmrace) ]
+  in
+  Arg.(
+    value & opt det `Hawkset
+    & info [ "d"; "detector" ] ~docv:"DETECTOR"
+        ~doc:"Detector: $(b,hawkset), $(b,eraser) or $(b,pmrace).")
+
+let no_irh_arg =
+  Arg.(
+    value & flag
+    & info [ "no-irh" ]
+        ~doc:"Disable the Initialization Removal Heuristic (stage 2).")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Print race reports as a JSON array.")
+
+let eadr_arg =
+  Arg.(
+    value & flag
+    & info [ "eadr" ]
+        ~doc:
+          "Analyse assuming eADR hardware (persistent cache, \u{00a7}2.1): \
+           the visible-but-not-durable window cannot exist.")
+
+let classify_races entry races =
+  List.iter
+    (fun race ->
+      let cls =
+        Pmapps.Ground_truth.classify ~bugs:entry.Pmapps.Registry.bugs
+          ~benign:entry.Pmapps.Registry.benign race
+      in
+      Format.printf "[%a] %a@.@." Pmapps.Ground_truth.pp_classification cls
+        Hawkset.Report.pp_race race)
+    (Hawkset.Report.sorted races)
+
+let run_cmd =
+  let run app ops seed detector no_irh eadr json =
+    match Pmapps.Registry.find app with
+    | None ->
+        Format.eprintf "unknown application %S (try list-apps)@." app;
+        exit 1
+    | Some entry -> (
+        let ops = Pmapps.Registry.clamp_ops entry ops in
+        match detector with
+        | `Pmrace ->
+            (* Observation-based detection needs delay injection and the
+               runtime monitor; reports are direct observations. *)
+            let report =
+              entry.Pmapps.Registry.run ~seed
+                ~policy:
+                  (Machine.Sched.Delay_injection
+                     { probability = 0.05; duration = 40 })
+                ~observe:true ~ops ()
+            in
+            Format.printf "%d directly-observed inconsistencies:@."
+              (List.length report.Machine.Sched.observations);
+            List.iter
+              (fun (o : Machine.Sched.observation) ->
+                Format.printf "  store %a / load %a@." Trace.Site.pp
+                  o.Machine.Sched.obs_store_site Trace.Site.pp
+                  o.Machine.Sched.obs_load_site)
+              report.Machine.Sched.observations
+        | `Hawkset | `Eraser ->
+            let report = entry.Pmapps.Registry.run ~seed ~ops () in
+            let trace = report.Machine.Sched.trace in
+            let races =
+              match detector with
+              | `Eraser -> Baselines.Eraser.analyse trace
+              | `Hawkset | `Pmrace ->
+                  let config =
+                    { Hawkset.Pipeline.default with irh = not no_irh; eadr }
+                  in
+                  Hawkset.Pipeline.races ~config trace
+            in
+            if json then print_endline (Hawkset.Report.to_json races)
+            else begin
+              Format.printf "trace: %d events; %d race reports@.@."
+                (Trace.Tracebuf.length trace)
+                (Hawkset.Report.count races);
+              classify_races entry races
+            end)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one application under a detector.")
+    Term.(const run $ app_arg $ ops_arg 1000 $ seed_arg $ detector_arg
+          $ no_irh_arg $ eadr_arg $ json_arg)
+
+let list_cmd =
+  let list () =
+    print_string
+      (Harness.Tables.render
+         ~headers:[ "Application"; "Synchronization"; "Config file needed";
+                    "Known bugs" ]
+         ~rows:
+           (List.map
+              (fun e ->
+                [
+                  e.Pmapps.Registry.reg_name;
+                  e.Pmapps.Registry.sync_method;
+                  (if e.Pmapps.Registry.needs_sync_config then "yes" else "no");
+                  string_of_int (List.length e.Pmapps.Registry.bugs);
+                ])
+              Pmapps.Registry.all))
+  in
+  Cmd.v
+    (Cmd.info "list-apps" ~doc:"List the registered PM applications.")
+    Term.(const list $ const ())
+
+let trace_cmd =
+  let go app ops seed out =
+    match Pmapps.Registry.find app with
+    | None ->
+        Format.eprintf "unknown application %S (try list-apps)@." app;
+        exit 1
+    | Some entry ->
+        let ops = Pmapps.Registry.clamp_ops entry ops in
+        let report = entry.Pmapps.Registry.run ~seed ~ops () in
+        Trace.Trace_io.save out report.Machine.Sched.trace;
+        Format.printf "wrote %d events to %s@."
+          (Trace.Tracebuf.length report.Machine.Sched.trace)
+          out
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Trace output file.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run an application and save its event trace for offline analysis.")
+    Term.(const go $ app_arg $ ops_arg 1000 $ seed_arg $ out)
+
+let analyze_cmd =
+  let go file no_irh eadr eraser json =
+    let trace = Trace.Trace_io.load file in
+    let races =
+      if eraser then Baselines.Eraser.analyse trace
+      else
+        Hawkset.Pipeline.races
+          ~config:{ Hawkset.Pipeline.default with irh = not no_irh; eadr }
+          trace
+    in
+    if json then print_endline (Hawkset.Report.to_json races)
+    else begin
+      Format.printf "trace: %d events (%a)@.@."
+        (Trace.Tracebuf.length trace)
+        Trace.Tracebuf.pp_stats
+        (Trace.Tracebuf.stats trace);
+      Format.printf "%a@." Hawkset.Report.pp races
+    end
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file produced by $(b,trace).")
+  in
+  let eadr =
+    Arg.(
+      value & flag
+      & info [ "eadr" ]
+          ~doc:"Assume eADR hardware (persistent cache): nothing can race.")
+  in
+  let eraser =
+    Arg.(
+      value & flag
+      & info [ "eraser" ] ~doc:"Use the traditional lockset baseline.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Analyse a saved trace — the application-agnostic offline workflow:           the analyser knows nothing about what produced the events.")
+    Term.(const go $ file $ no_irh_arg $ eadr $ eraser $ json_arg)
+
+let bugs_cmd =
+  let go () =
+    List.iter
+      (fun (e : Pmapps.Registry.entry) ->
+        List.iter
+          (fun (b : Pmapps.Ground_truth.bug) ->
+            Format.printf "#%-2d %-15s %-4s %-34s stores: %s@.%33s loads:  %s@."
+              b.Pmapps.Ground_truth.gt_id e.Pmapps.Registry.reg_name
+              (if b.Pmapps.Ground_truth.gt_new then "NEW" else "")
+              b.Pmapps.Ground_truth.gt_desc
+              (String.concat ", " b.Pmapps.Ground_truth.gt_store_locs)
+              ""
+              (String.concat ", " b.Pmapps.Ground_truth.gt_load_locs))
+          e.Pmapps.Registry.bugs)
+      Pmapps.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "bugs"
+       ~doc:"Print the ground-truth bug registry (the Table 2 rows).")
+    Term.(const go $ const ())
+
+let table2_cmd =
+  let go small =
+    let sizes = if small then [ 1000; 6000 ] else [ 1000; 10_000; 100_000 ] in
+    print_string (Harness.Table2.to_string (Harness.Table2.run ~sizes ()))
+  in
+  let small =
+    Arg.(value & flag & info [ "small" ] ~doc:"Scaled-down workloads.")
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Regenerate Table 2.") Term.(const go $ small)
+
+let table3_cmd =
+  let go seeds executions =
+    print_string
+      (Harness.Table3.to_string
+         (Harness.Table3.run ~seeds ~pmrace_executions:executions ()))
+  in
+  let seeds =
+    Arg.(value & opt int 24 & info [ "seeds" ] ~doc:"Seed workloads (paper: 240).")
+  in
+  let executions =
+    Arg.(
+      value & opt int 12
+      & info [ "pmrace-executions" ]
+          ~doc:"Fuzzing executions per seed for the PMRace baseline.")
+  in
+  Cmd.v (Cmd.info "table3" ~doc:"Regenerate Table 3.")
+    Term.(const go $ seeds $ executions)
+
+let table4_cmd =
+  let go ops =
+    print_string (Harness.Table4.to_string (Harness.Table4.run ~ops ()))
+  in
+  Cmd.v (Cmd.info "table4" ~doc:"Regenerate Table 4.")
+    Term.(const go $ ops_arg 2000)
+
+let figure6_cmd =
+  let go small =
+    let sizes = if small then [ 250; 1000; 4000 ] else [ 1000; 10_000; 100_000 ] in
+    let r = Harness.Figure6.run ~sizes () in
+    print_string (Harness.Figure6.to_string r)
+  in
+  let small =
+    Arg.(value & flag & info [ "small" ] ~doc:"Scaled-down workloads.")
+  in
+  Cmd.v (Cmd.info "figure6" ~doc:"Regenerate Figure 6's series.")
+    Term.(const go $ small)
+
+let ablation_cmd =
+  let go ops =
+    print_string (Harness.Ablation.to_string (Harness.Ablation.run ~ops ()))
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Design-choice ablation study.")
+    Term.(const go $ ops_arg 1500)
+
+let () =
+  let info =
+    Cmd.info "hawkset" ~version:"1.0.0"
+      ~doc:
+        "Automatic, application-agnostic and efficient concurrent PM bug \
+         detection (EuroSys'25 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; list_cmd; bugs_cmd; trace_cmd; analyze_cmd; table2_cmd;
+            table3_cmd; table4_cmd; figure6_cmd; ablation_cmd ]))

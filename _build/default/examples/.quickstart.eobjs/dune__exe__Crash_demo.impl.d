@@ -1,0 +1,1 @@
+examples/crash_demo.ml: Format Int64 List Machine Pmapps Pmem String

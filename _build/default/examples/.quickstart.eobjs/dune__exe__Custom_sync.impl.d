@@ -1,0 +1,1 @@
+examples/custom_sync.ml: Format Hawkset Int64 Machine Pmem String

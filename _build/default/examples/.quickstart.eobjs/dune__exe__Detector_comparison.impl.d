@@ -1,0 +1,1 @@
+examples/detector_comparison.ml: Array Baselines Harness Hawkset List Machine Pmapps Pmem Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baselines Format Hawkset Int64 Machine Pmem Trace

@@ -1,0 +1,1 @@
+examples/witness_replay.ml: Array Format Hawkset List Machine Pmem String Trace

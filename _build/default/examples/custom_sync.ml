@@ -1,0 +1,56 @@
+(* Custom synchronization primitives and the configuration file (§4,
+   §5.5, A.5 "Notes on Reusability").
+
+   HawkSet instruments pthread primitives out of the box. An application
+   using its own CAS-based lock is still *correct*, but the instrumenter
+   cannot see its critical sections — every protected access looks
+   unprotected and floods the report with false races. Listing the
+   primitive in a one-line configuration file fixes it: no source
+   changes, no drivers, no annotations.
+
+     dune exec examples/custom_sync.exe *)
+
+module S = Machine.Sched
+
+(* An application protecting a PM counter with a custom spinlock. *)
+let app ctx =
+  let data = S.alloc ctx 8 in
+  let lock = Machine.Spinlock.create ~primitive:"my_cas_lock" ctx in
+  let work ctx =
+    for _ = 1 to 10 do
+      Machine.Spinlock.lock lock ctx __POS__;
+      let v = S.load_i64 ctx __POS__ data in
+      S.store_i64 ctx __POS__ data (Int64.add v 1L);
+      S.persist ctx __POS__ data 8;
+      Machine.Spinlock.unlock lock ctx __POS__
+    done
+  in
+  let a = S.spawn ctx work and b = S.spawn ctx work in
+  S.join ctx a;
+  S.join ctx b
+
+let run sync_config =
+  let heap = Pmem.Heap.create ~size:(1 lsl 20) () in
+  let report = S.run ~seed:3 ~sync_config ~heap app in
+  Hawkset.Report.count (Hawkset.Pipeline.races report.S.trace)
+
+let () =
+  (* 1. Default configuration: the custom lock is invisible. *)
+  let without = run Machine.Sync_config.builtin in
+  Format.printf
+    "without configuration: %d race reports (the critical sections are@.\
+     invisible, so correctly-synchronized accesses look racy)@.@."
+    without;
+
+  (* 2. The §4-style configuration file: one line per primitive. *)
+  let config_file = "lock my_cas_lock\n" in
+  let with_config = run (Machine.Sync_config.of_string config_file) in
+  Format.printf
+    "with the one-line configuration %S: %d race reports@.@."
+    (String.trim config_file) with_config;
+  assert (without > 0);
+  assert (with_config = 0);
+  print_endline
+    "The configuration names the acquire/release functions; it can be\n\
+     written once per synchronization library and reused by every\n\
+     application built on it (Section 4)."

@@ -1,0 +1,129 @@
+(* Detector comparison on one application.
+
+   Runs WIPE (whose three bugs all have the "persist outside the critical
+   section" shape of Figure 1c) once, then lets four detectors loose:
+
+   - HawkSet: PM-aware lockset analysis over the trace (one execution);
+   - Eraser: traditional lockset analysis over the same trace;
+   - PMRace: observation-based fuzzing (many executions with delay
+     injection, reports only directly-witnessed inconsistencies);
+   - Durinn: serialized candidate extraction + targeted adversarial
+     interleavings (also needs direct observation).
+
+     dune exec examples/detector_comparison.exe *)
+
+module S = Machine.Sched
+
+let () =
+  let ops = 800 in
+  (* One instrumented execution, shared by the trace-based detectors. *)
+  let report = Pmapps.Driver.run_kv_ycsb (module Pmapps.Wipe) ~seed:5 ~ops () in
+  let trace = report.S.trace in
+
+  let hawkset = Hawkset.Pipeline.races trace in
+  let eraser = Baselines.Eraser.analyse trace in
+
+  (* PMRace needs its own executions: it must observe races directly. *)
+  let seed_ops =
+    (Workload.Seeds.corpus ~count:1 ~ops_per_seed:ops ~base_seed:5 ()).(0)
+  in
+  let pmrace =
+    Baselines.Pmrace.fuzz
+      ~run:(fun ~per_thread ~seed ~policy ~observe ->
+        Pmapps.Driver.run_kv
+          (module Pmapps.Wipe)
+          ~seed ~policy ~observe ~load:[] ~per_thread ())
+      ~seed_workload:seed_ops ~executions:10 ()
+  in
+
+  let found races id =
+    Pmapps.Ground_truth.bug_found ~bugs:Pmapps.Wipe.bugs races id
+  in
+  (* Durinn: serialize, extract candidates, then force interleavings. *)
+  let durinn =
+    Baselines.Durinn.run
+      ~serial_run:(fun () ->
+        let heap = Pmem.Heap.create ~size:(64 * 1024 * 1024) () in
+        S.run ~seed:0 ~heap (fun ctx ->
+            let t = Pmapps.Wipe.create ctx in
+            List.iter
+              (fun op ->
+                match op with
+                | Workload.Op.Insert (key, value)
+                | Workload.Op.Update (key, value) ->
+                    Pmapps.Wipe.insert t ctx ~key ~value
+                | Workload.Op.Get key -> ignore (Pmapps.Wipe.get t ctx ~key)
+                | Workload.Op.Delete key -> Pmapps.Wipe.delete t ctx ~key)
+              seed_ops))
+      ~concurrent_run:(fun ~policy ~seed ->
+        Pmapps.Driver.run_kv
+          (module Pmapps.Wipe)
+          ~seed ~policy ~observe:true ~load:[]
+          ~per_thread:(Workload.Seeds.split ~threads:8 seed_ops)
+          ())
+      ~attempts_per_candidate:4 ()
+  in
+  let durinn_found id =
+    match
+      List.find_opt
+        (fun (b : Pmapps.Ground_truth.bug) -> b.Pmapps.Ground_truth.gt_id = id)
+        Pmapps.Wipe.bugs
+    with
+    | Some b ->
+        Baselines.Durinn.observed_pair durinn
+          ~store_locs:b.Pmapps.Ground_truth.gt_store_locs
+          ~load_locs:b.Pmapps.Ground_truth.gt_load_locs
+    | None -> false
+  in
+  let pm_found id =
+    match
+      List.find_opt
+        (fun (b : Pmapps.Ground_truth.bug) -> b.Pmapps.Ground_truth.gt_id = id)
+        Pmapps.Wipe.bugs
+    with
+    | Some b ->
+        Baselines.Pmrace.observed pmrace
+          ~store_locs:b.Pmapps.Ground_truth.gt_store_locs
+          ~load_locs:b.Pmapps.Ground_truth.gt_load_locs
+    | None -> false
+  in
+  print_string
+    (Harness.Tables.render
+       ~headers:[ "Detector"; "Executions"; "Bug #16"; "Bug #17"; "Bug #18" ]
+       ~rows:
+         [
+           [
+             "HawkSet"; "1";
+             string_of_bool (found hawkset 16);
+             string_of_bool (found hawkset 17);
+             string_of_bool (found hawkset 18);
+           ];
+           [
+             "Eraser (traditional)"; "1";
+             string_of_bool (found eraser 16);
+             string_of_bool (found eraser 17);
+             string_of_bool (found eraser 18);
+           ];
+           [
+             "PMRace (observation)";
+             string_of_int pmrace.Baselines.Pmrace.executions;
+             string_of_bool (pm_found 16);
+             string_of_bool (pm_found 17);
+             string_of_bool (pm_found 18);
+           ];
+           [
+             "Durinn (targeted)";
+             string_of_int durinn.Baselines.Durinn.executions;
+             string_of_bool (durinn_found 16);
+             string_of_bool (durinn_found 17);
+             string_of_bool (durinn_found 18);
+           ];
+         ]);
+  print_newline ();
+  print_endline
+    "WIPE's bugs pair same-lock accesses with a late (or missing) persist:";
+  print_endline
+    "traditional lockset analysis is structurally blind to them, and the";
+  print_endline
+    "observation-based search must get lucky with the interleaving, while";
+  print_endline "the effective lockset exposes all three from one run."

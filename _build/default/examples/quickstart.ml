@@ -1,0 +1,67 @@
+(* Quickstart: write a tiny PM program, run it on the instrumented
+   machine, and let HawkSet find its persistency-induced race.
+
+   The program is Figure 1c from the paper: two threads share a PM
+   counter protected by a mutex — correct from a pure concurrency
+   standpoint — but the writer persists the counter only AFTER leaving
+   the critical section. A reader can therefore act on a value that a
+   crash will erase.
+
+     dune exec examples/quickstart.exe *)
+
+module S = Machine.Sched
+
+let () =
+  (* 1. A 1 MiB PM pool ("the mmap'ed PM file"). *)
+  let heap = Pmem.Heap.create ~size:(1 lsl 20) () in
+
+  (* 2. Run the application: every store/load/flush/fence and lock
+        operation is recorded into the report's trace. *)
+  let report =
+    S.run ~seed:7 ~heap (fun ctx ->
+        let counter = S.alloc ctx 8 in
+        let lock = Machine.Mutex.create ctx in
+
+        let writer =
+          S.spawn ctx (fun ctx ->
+              for i = 1 to 5 do
+                Machine.Mutex.lock lock ctx __POS__;
+                S.store_i64 ctx __POS__ counter (Int64.of_int i);
+                Machine.Mutex.unlock lock ctx __POS__;
+                (* BUG: the persist lives outside the critical section. *)
+                S.persist ctx __POS__ counter 8
+              done)
+        in
+        let reader =
+          S.spawn ctx (fun ctx ->
+              for _ = 1 to 5 do
+                Machine.Mutex.lock lock ctx __POS__;
+                (* This load can observe a visible-but-not-durable value:
+                   replying to a client with it is a lost-update waiting
+                   for a crash. *)
+                ignore (S.load_i64 ctx __POS__ counter);
+                Machine.Mutex.unlock lock ctx __POS__
+              done)
+        in
+        S.join ctx writer;
+        S.join ctx reader)
+  in
+
+  (* 3. Analyse the trace — no annotations, drivers or models needed. *)
+  let result = Hawkset.Pipeline.run report.S.trace in
+
+  Format.printf "trace: %d events (%a)@.@." report.S.event_count
+    Trace.Tracebuf.pp_stats
+    (Trace.Tracebuf.stats report.S.trace);
+  Format.printf "%a@.@." Hawkset.Report.pp result.Hawkset.Pipeline.races;
+  Format.printf
+    "Note: both accesses hold the same mutex — a traditional data-race@.\
+     detector sees nothing here. The effective lockset of the store is@.\
+     empty because its persist happens outside the critical section.@.";
+
+  (* 4. The same trace under traditional lockset analysis: silence. *)
+  let eraser = Baselines.Eraser.analyse report.S.trace in
+  Format.printf "@.Traditional lockset analysis on the same trace: %d reports@."
+    (Hawkset.Report.count eraser);
+  assert (Hawkset.Report.count result.Hawkset.Pipeline.races = 1);
+  assert (Hawkset.Report.count eraser = 0)

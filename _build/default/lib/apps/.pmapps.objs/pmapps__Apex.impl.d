@@ -1,0 +1,1 @@
+lib/apps/apex.ml: Array Ground_truth Int64 List Machine Option

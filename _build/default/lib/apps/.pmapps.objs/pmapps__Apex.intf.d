@@ -1,0 +1,1 @@
+lib/apps/apex.mli: App_intf

@@ -1,0 +1,1 @@
+lib/apps/driver.ml: App_intf Array List Machine Pmem Workload

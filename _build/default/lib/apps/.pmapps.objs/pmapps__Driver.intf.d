@@ -1,0 +1,1 @@
+lib/apps/driver.mli: App_intf Machine Workload

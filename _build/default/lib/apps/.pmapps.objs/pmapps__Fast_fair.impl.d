@@ -1,0 +1,1 @@
+lib/apps/fast_fair.ml: Ground_truth Int64 List Machine

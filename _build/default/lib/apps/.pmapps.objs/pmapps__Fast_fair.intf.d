@@ -1,0 +1,1 @@
+lib/apps/fast_fair.mli: App_intf Machine

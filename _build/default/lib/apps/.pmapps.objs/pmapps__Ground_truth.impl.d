@@ -1,0 +1,1 @@
+lib/apps/ground_truth.ml: Format Hawkset List Printf String Trace

@@ -1,0 +1,1 @@
+lib/apps/ground_truth.mli: Format Hawkset

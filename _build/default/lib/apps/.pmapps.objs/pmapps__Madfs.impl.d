@@ -1,0 +1,1 @@
+lib/apps/madfs.ml: Bytes Ground_truth Int64 List Machine

@@ -1,0 +1,1 @@
+lib/apps/madfs.mli: Ground_truth Machine

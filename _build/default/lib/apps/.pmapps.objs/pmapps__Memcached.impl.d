@@ -1,0 +1,1 @@
+lib/apps/memcached.ml: Ground_truth Int64 List Machine

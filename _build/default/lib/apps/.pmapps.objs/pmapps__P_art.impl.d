@@ -1,0 +1,1 @@
+lib/apps/p_art.ml: Ground_truth Int64 List Machine

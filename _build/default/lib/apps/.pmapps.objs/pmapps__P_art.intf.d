@@ -1,0 +1,1 @@
+lib/apps/p_art.mli: App_intf Machine

@@ -1,0 +1,1 @@
+lib/apps/p_clht.ml: Array Fun Ground_truth Int64 List Machine Pmem

@@ -1,0 +1,1 @@
+lib/apps/p_clht.mli: App_intf Machine

@@ -1,0 +1,1 @@
+lib/apps/p_masstree.ml: Ground_truth Int64 List Machine

@@ -1,0 +1,1 @@
+lib/apps/p_masstree.mli: App_intf Machine

@@ -1,0 +1,1 @@
+lib/apps/pmlog.ml: Hashtbl Int64 Machine

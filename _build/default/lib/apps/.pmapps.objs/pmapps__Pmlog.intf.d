@@ -1,0 +1,1 @@
+lib/apps/pmlog.mli: App_intf Machine

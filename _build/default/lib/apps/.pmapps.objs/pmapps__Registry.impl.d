@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Apex App_intf Array Bytes Driver Fast_fair Ground_truth List Machine Madfs Memcached P_art P_clht P_masstree Pmem String Turbo_hash Wipe Workload

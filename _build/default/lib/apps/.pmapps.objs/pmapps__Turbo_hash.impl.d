@@ -1,0 +1,1 @@
+lib/apps/turbo_hash.ml: Array Ground_truth Int64 List Machine Pmem Printf

@@ -1,0 +1,1 @@
+lib/apps/turbo_hash.mli: App_intf Machine

@@ -1,0 +1,1 @@
+lib/apps/wipe.ml: Array Ground_truth Int64 List Machine

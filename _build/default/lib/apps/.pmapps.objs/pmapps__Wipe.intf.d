@@ -1,0 +1,1 @@
+lib/apps/wipe.mli: App_intf Machine

@@ -1,0 +1,191 @@
+module S = Machine.Sched
+
+let name = "apex"
+let node_count = 512
+let node_slots = 64
+
+(* Data node: a gapped array. word 0 = count, word 1 = overflow-node
+   pointer; then [node_slots] slots of (key, value); key 0 = gap. The
+   per-node model predicts a slot, probing resolves collisions, and fully
+   occupied nodes chain into overflow nodes (standing in for ALEX's node
+   expansion). Directory: [node_count] node pointers. *)
+let node_bytes = (2 + (2 * node_slots)) * 8
+let off_cnt = 0
+let off_next = 8
+let off_key i = 16 + (16 * i)
+let off_val i = 24 + (16 * i)
+
+type t = { dir : int; locks : Machine.Spinlock.t array }
+
+(* ---- named sites ---- *)
+
+(* #19: value stores of insert/update/erase — correctly persisted inside
+   the lock, yet racy against the lock-free search. *)
+let bug19_insert_val_pos = __POS__
+let bug19_update_val_pos = __POS__
+
+(* #20: key stores of insert/erase. *)
+let bug20_insert_key_pos = __POS__
+let bug20_erase_key_pos = __POS__
+
+(* The lock-free search loads. *)
+let search_key_load_pos = __POS__
+let search_val_load_pos = __POS__
+
+(* Benign lock-free loads. *)
+let lf_dir_load_pos = __POS__
+let lf_cnt_load_pos = __POS__
+
+let bugs =
+  let l = Ground_truth.loc in
+  [
+    { Ground_truth.gt_id = 19; gt_new = true;
+      gt_desc = "load unpersisted value";
+      gt_store_locs = [ l bug19_insert_val_pos; l bug19_update_val_pos ];
+      gt_load_locs = [ l search_val_load_pos ] };
+    { Ground_truth.gt_id = 20; gt_new = true;
+      gt_desc = "load unpersisted key";
+      gt_store_locs = [ l bug20_insert_key_pos; l bug20_erase_key_pos ];
+      gt_load_locs = [ l search_key_load_pos ] };
+  ]
+
+let benign =
+  List.map
+    (fun pos -> Ground_truth.Load_at (Ground_truth.loc pos))
+    [ lf_dir_load_pos; lf_cnt_load_pos; search_key_load_pos;
+      search_val_load_pos ]
+
+let primitive = "apex_cas_lock"
+let sync_config = Machine.Sync_config.register Machine.Sync_config.builtin primitive
+
+(* The root model: trained on the workload's key distribution, it spreads
+   keys evenly over the directory. We model "trained on a uniform key
+   stream" with a fixed mixing transform of the key. *)
+let mix key =
+  let h = key lxor (key lsr 33) in
+  let h = h * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land max_int
+
+let node_for key = mix key land (node_count - 1)
+
+(* The per-node model: predicted slot within the gapped array. *)
+let predicted_slot key = (mix key lsr 24) land (node_slots - 1)
+
+
+let alloc_data_node ctx =
+  let n = S.alloc ctx ~align:64 node_bytes in
+  S.persist ctx __POS__ n 16;
+  n
+
+let create ctx =
+  let dir = S.alloc ctx ~align:64 (8 * node_count) in
+  for i = 0 to node_count - 1 do
+    let n = alloc_data_node ctx in
+    S.store_i64 ctx __POS__ (dir + (8 * i)) (Int64.of_int n)
+  done;
+  S.persist ctx __POS__ dir (8 * node_count);
+  { dir; locks = Array.init node_count (fun _ -> Machine.Spinlock.create ~primitive ctx) }
+
+let node_of t ctx i =
+  Int64.to_int (S.load_i64 ctx lf_dir_load_pos (t.dir + (8 * i)))
+
+(* Writer-side probe from the model's prediction: full wrap-around scan,
+   returning the key's slot (if present) and the first gap. *)
+let probe ctx n key =
+  let k64 = Int64.of_int key in
+  let start = predicted_slot key in
+  let rec go step gap =
+    if step >= node_slots then (None, gap)
+    else begin
+      let i = (start + step) mod node_slots in
+      let k = S.load_i64 ctx __POS__ (n + off_key i) in
+      if Int64.equal k k64 then (Some i, gap)
+      else if Int64.equal k 0L && gap = None then go (step + 1) (Some i)
+      else go (step + 1) gap
+    end
+  in
+  go 0 None
+
+let next_node ctx n = Int64.to_int (S.load_i64 ctx __POS__ (n + off_next))
+
+let insert t ctx ~key ~value =
+  S.with_frame ctx "apex_insert" @@ fun () ->
+  let ni = node_for key in
+  Machine.Spinlock.with_lock t.locks.(ni) ctx __POS__ @@ fun () ->
+  let store_entry n gap =
+    S.store_i64 ctx bug19_insert_val_pos (n + off_val gap) value;
+    S.store_i64 ctx bug20_insert_key_pos (n + off_key gap) (Int64.of_int key);
+    let c = Int64.to_int (S.load_i64 ctx __POS__ (n + off_cnt)) in
+    S.store_i64 ctx __POS__ (n + off_cnt) (Int64.of_int (c + 1));
+    (* Correctly persisted inside the critical section. *)
+    S.persist ctx __POS__ (n + off_key gap) 8;
+    S.persist ctx __POS__ (n + off_val gap) 8;
+    S.persist ctx __POS__ (n + off_cnt) 8
+  in
+  (* Walk the overflow chain: update in place, or take the first gap, or
+     append a fresh overflow node. *)
+  let rec walk n first_gap =
+    match probe ctx n key with
+    | Some i, _ ->
+        S.store_i64 ctx bug19_update_val_pos (n + off_val i) value;
+        S.persist ctx __POS__ (n + off_val i) 8
+    | None, gap -> (
+        let first_gap =
+          match first_gap with
+          | Some _ -> first_gap
+          | None -> Option.map (fun g -> (n, g)) gap
+        in
+        match next_node ctx n with
+        | 0 -> (
+            match first_gap with
+            | Some (gn, g) -> store_entry gn g
+            | None ->
+                let fresh = alloc_data_node ctx in
+                store_entry fresh (predicted_slot key);
+                S.store_i64 ctx __POS__ (n + off_next) (Int64.of_int fresh);
+                S.persist ctx __POS__ (n + off_next) 8)
+        | next -> walk next first_gap)
+  in
+  walk (node_of t ctx ni) None
+
+let update = insert
+
+let delete t ctx ~key =
+  S.with_frame ctx "apex_erase" @@ fun () ->
+  let ni = node_for key in
+  Machine.Spinlock.with_lock t.locks.(ni) ctx __POS__ @@ fun () ->
+  let rec walk n =
+    if n <> 0 then
+      match probe ctx n key with
+      | Some i, _ ->
+          S.store_i64 ctx bug20_erase_key_pos (n + off_key i) 0L;
+          let c = Int64.to_int (S.load_i64 ctx __POS__ (n + off_cnt)) in
+          S.store_i64 ctx __POS__ (n + off_cnt) (Int64.of_int (max 0 (c - 1)));
+          S.persist ctx __POS__ (n + off_key i) 8;
+          S.persist ctx __POS__ (n + off_cnt) 8
+      | None, _ -> walk (next_node ctx n)
+  in
+  walk (node_of t ctx ni)
+
+(* Lock-free search (the racy reader of bugs #19/#20). *)
+let get t ctx ~key =
+  S.with_frame ctx "apex_search" @@ fun () ->
+  let k64 = Int64.of_int key in
+  let start = predicted_slot key in
+  let rec walk n =
+    if n = 0 then None
+    else
+      let rec go step =
+        if step >= node_slots then
+          walk (Int64.to_int (S.load_i64 ctx lf_cnt_load_pos (n + off_next)))
+        else begin
+          let i = (start + step) mod node_slots in
+          let k = S.load_i64 ctx search_key_load_pos (n + off_key i) in
+          if Int64.equal k k64 then
+            Some (S.load_i64 ctx search_val_load_pos (n + off_val i))
+          else go (step + 1)
+        end
+      in
+      go 0
+  in
+  walk (node_of t ctx (node_for key))

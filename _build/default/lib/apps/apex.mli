@@ -1,0 +1,19 @@
+(** APEX: a high-performance learned index on PM (VLDB'22), the PM and
+    concurrency extension of Microsoft's ALEX.
+
+    Keys map through a linear model into a directory of gapped-array data
+    nodes. Writers (insert / update / erase) take the node's lock —
+    modelled as the ["apex_cas_lock"] CAS-wrapper primitive that needed a
+    sync-configuration entry in the paper (§5.5) — and persist correctly
+    {e inside} the critical section. Searches are lock-free.
+
+    Injected bugs (Table 2 #19/#20, both new): precisely because searches
+    are lock-free, they can observe a stored key (#20) or value (#19)
+    {e inside} its store-to-persist window: "although the latter
+    operations are protected via mutex, and correctly persisted, the
+    lock-free search can still observe an unpersisted value" (§5.1). *)
+
+include App_intf.KV
+
+val node_count : int
+(** Number of directory nodes. *)

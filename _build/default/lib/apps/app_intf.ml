@@ -1,0 +1,30 @@
+(** Application interfaces.
+
+    Seven of the nine evaluated applications expose key-value semantics
+    and run under the shared YCSB driver; Memcached-pmem and MadFS have
+    dedicated drivers. Every application also declares its ground truth
+    (injected bugs and tolerated races) and the sync configuration its
+    custom primitives need (§5.5). *)
+
+module type KV = sig
+  val name : string
+
+  type t
+
+  val create : Machine.Sched.ctx -> t
+  (** Allocates and persists the initial structure; runs on the main
+      thread before workers start. *)
+
+  val insert : t -> Machine.Sched.ctx -> key:int -> value:int64 -> unit
+  val update : t -> Machine.Sched.ctx -> key:int -> value:int64 -> unit
+  val get : t -> Machine.Sched.ctx -> key:int -> int64 option
+  val delete : t -> Machine.Sched.ctx -> key:int -> unit
+
+  val bugs : Ground_truth.bug list
+  val benign : Ground_truth.benign_rule list
+
+  val sync_config : Machine.Sync_config.t
+  (** The configuration needed to instrument this application's custom
+      synchronization primitives ({!Machine.Sync_config.builtin} when the
+      app only uses pthread-style locks). *)
+end

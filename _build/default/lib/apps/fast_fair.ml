@@ -1,0 +1,422 @@
+module S = Machine.Sched
+
+let name = "fast-fair"
+let order = 8 (* entries per node *)
+
+(* Node layout (64-byte-aligned, four cache lines):
+     line 0:   word 0 = tag (1 = leaf, 2 = inner), word 1 = count,
+               first entries
+     lines 0-2: entries, 16 bytes each: key_i at 16+16i, val_i at 24+16i
+     line 3:   word 24 = sibling pointer — on its OWN cache line, so
+               persisting the header/entries never (accidentally) covers
+               the racy pointer publication of bugs #1/#2. *)
+let node_size = 256
+let off_tag = 0
+let off_count = 8
+let off_sibling = 192
+let off_key i = 16 + (16 * i)
+let off_val i = 24 + (16 * i)
+
+(* Byte length of the header + entry region (excludes the sibling line). *)
+let entries_bytes = 16 + (16 * order)
+let leaf_tag = 1L
+let inner_tag = 2L
+
+(* Metadata block: word 0 = root pointer, word 1 = height. *)
+type t = { meta : int; lock : Machine.Mutex.t }
+
+(* ---- sites shared with the ground-truth registry ----
+
+   Each named position is bound here and passed to the instrumented
+   access, so the registry and the emitted events agree on file:line. *)
+
+(* Bug #1: the new leaf sibling's pointer store; its persist is deferred
+   until after the critical section (see [insert]). *)
+let bug1_store_pos = __POS__
+
+(* Bug #2: the same pattern on the inner-node split path (Figure 5). *)
+let bug2_store_pos = __POS__
+
+(* Loads that can observe the unpersisted sibling pointer: the lock-free
+   traversal (the paper's btree.h:878) and the writer-side sibling-chain
+   read during a later split of the same node. *)
+let ptr_load_pos = __POS__
+let wr_sibling_load_pos = __POS__
+
+(* Lock-free read sites of the get path (benign: the design tolerates
+   readers observing not-yet-persisted, correctly-published data). *)
+let lf_root_load_pos = __POS__
+let lf_tag_load_pos = __POS__
+let lf_count_load_pos = __POS__
+let leaf_key_load_pos = __POS__
+let leaf_val_load_pos = __POS__
+
+(* Writer store sites participating in benign races with those reads. *)
+let entry_key_store_pos = __POS__
+let entry_val_store_pos = __POS__
+let count_store_pos = __POS__
+let root_store_pos = __POS__
+
+let bugs =
+  [
+    {
+      Ground_truth.gt_id = 1;
+      gt_new = false;
+      gt_desc = "load unpersisted pointer";
+      gt_store_locs = [ Ground_truth.loc bug1_store_pos ];
+      gt_load_locs =
+        [ Ground_truth.loc ptr_load_pos; Ground_truth.loc wr_sibling_load_pos ];
+    };
+    {
+      Ground_truth.gt_id = 2;
+      gt_new = true;
+      gt_desc = "load unpersisted pointer";
+      gt_store_locs = [ Ground_truth.loc bug2_store_pos ];
+      gt_load_locs =
+        [ Ground_truth.loc ptr_load_pos; Ground_truth.loc wr_sibling_load_pos ];
+    };
+  ]
+
+let benign =
+  List.map
+    (fun pos -> Ground_truth.Load_at (Ground_truth.loc pos))
+    [
+      lf_root_load_pos;
+      lf_tag_load_pos;
+      lf_count_load_pos;
+      leaf_key_load_pos;
+      leaf_val_load_pos;
+      ptr_load_pos;
+    ]
+
+let sync_config = Machine.Sync_config.builtin
+
+(* ---- node helpers (writer side, under the tree mutex) ---- *)
+
+let alloc_node ctx ~tag =
+  let n = S.alloc ctx ~align:64 node_size in
+  S.store_i64 ctx __POS__ (n + off_tag) tag;
+  S.store_i64 ctx __POS__ (n + off_count) 0L;
+  S.store_i64 ctx __POS__ (n + off_sibling) 0L;
+  n
+
+let count ctx n = Int64.to_int (S.load_i64 ctx __POS__ (n + off_count))
+
+let set_count ctx n c =
+  S.store_i64 ctx count_store_pos (n + off_count) (Int64.of_int c)
+
+let key_at ctx n i = S.load_i64 ctx __POS__ (n + off_key i)
+let val_at ctx n i = S.load_i64 ctx __POS__ (n + off_val i)
+let set_key ctx n i k = S.store_i64 ctx entry_key_store_pos (n + off_key i) k
+let set_val ctx n i v = S.store_i64 ctx entry_val_store_pos (n + off_val i) v
+let is_leaf ctx n = Int64.equal (S.load_i64 ctx __POS__ (n + off_tag)) leaf_tag
+let persist_node ctx n = S.persist ctx __POS__ n node_size
+let persist_entries ctx n = S.persist ctx __POS__ n entries_bytes
+
+let create ctx =
+  let meta = S.alloc ctx ~align:64 16 in
+  let root = alloc_node ctx ~tag:leaf_tag in
+  persist_node ctx root;
+  S.store_i64 ctx root_store_pos (meta + 0) (Int64.of_int root);
+  S.store_i64 ctx __POS__ (meta + 8) 1L;
+  S.persist ctx __POS__ meta 16;
+  { meta; lock = Machine.Mutex.create ctx }
+
+let meta_addr t = t.meta
+
+let recover ctx ~meta_addr =
+  { meta = meta_addr; lock = Machine.Mutex.create ctx }
+
+let root ctx t = Int64.to_int (S.load_i64 ctx __POS__ (t.meta + 0))
+
+let find_slot ctx n key =
+  (* Index of the first entry with key > [key]. *)
+  let c = count ctx n in
+  let rec go i =
+    if i >= c then c
+    else if key_at ctx n i > key then i
+    else go (i + 1)
+  in
+  go 0
+
+let child_for ctx n key =
+  (* Inner nodes: entry i covers keys >= key_i; entry 0 holds the minimum
+     sentinel, so [find_slot - 1] always exists. *)
+  let slot = find_slot ctx n key in
+  Int64.to_int (val_at ctx n (max 0 (slot - 1)))
+
+let shift_right ctx n ~from ~cnt =
+  for j = cnt - 1 downto from do
+    set_key ctx n (j + 1) (key_at ctx n j);
+    set_val ctx n (j + 1) (val_at ctx n j)
+  done
+
+let shift_left ctx n ~from ~cnt =
+  for j = from to cnt - 2 do
+    set_key ctx n j (key_at ctx n (j + 1));
+    set_val ctx n j (val_at ctx n (j + 1))
+  done
+
+(* Insert or overwrite in a non-full node; persists the node. *)
+let upsert_entry ctx n key value =
+  let c = count ctx n in
+  let rec existing i =
+    if i >= c then None else if key_at ctx n i = key then Some i else existing (i + 1)
+  in
+  match existing 0 with
+  | Some i ->
+      set_val ctx n i value;
+      S.persist ctx __POS__ (n + off_val i) 8
+  | None ->
+      let slot = find_slot ctx n key in
+      if slot < c then begin
+        (* FAST&FAIR-style endurable shift: first duplicate the last
+           entry into the new tail slot and commit the extended count,
+           so no existing entry is ever unreachable mid-shift (a crash
+           leaves a tolerated duplicate, never a lost key). *)
+        set_key ctx n c (key_at ctx n (c - 1));
+        set_val ctx n c (val_at ctx n (c - 1));
+        set_count ctx n (c + 1);
+        shift_right ctx n ~from:slot ~cnt:(c - 1);
+        set_key ctx n slot key;
+        set_val ctx n slot value
+      end
+      else begin
+        (* Append: the entry becomes visible only when the count commits. *)
+        set_key ctx n slot key;
+        set_val ctx n slot value;
+        set_count ctx n (c + 1)
+      end;
+      persist_entries ctx n
+
+let contains ctx n key =
+  let c = count ctx n in
+  let rec go i = i < c && (key_at ctx n i = key || go (i + 1)) in
+  go 0
+
+(* Split [n]; returns (median key, new sibling address). The new node is
+   fully initialized and persisted before becoming reachable; the sibling
+   link of [n] is stored — visible immediately — but its persist is
+   deferred to the caller, which (buggily) performs it outside the
+   critical section. [ptr_pos] selects the bug-#1 or bug-#2 site. *)
+let split ctx n ~ptr_pos =
+  let tag = if is_leaf ctx n then leaf_tag else inner_tag in
+  let sibling = alloc_node ctx ~tag in
+  let c = count ctx n in
+  let half = c / 2 in
+  for j = half to c - 1 do
+    set_key ctx sibling (j - half) (key_at ctx n j);
+    set_val ctx sibling (j - half) (val_at ctx n j)
+  done;
+  set_count ctx sibling (c - half);
+  S.store_i64 ctx __POS__ (sibling + off_sibling)
+    (S.load_i64 ctx wr_sibling_load_pos (n + off_sibling));
+  persist_node ctx sibling;
+  (* FAST&FAIR ordering: link the sibling BEFORE shrinking the count, so
+     a crash mid-split leaves duplicates (tolerated) rather than lost
+     keys. The link store itself is the racy publication: visible
+     immediately, persisted late (bug #1/#2). *)
+  S.store_i64 ctx ptr_pos (n + off_sibling) (Int64.of_int sibling);
+  set_count ctx n half;
+  S.persist ctx __POS__ (n + off_count) 8;
+  (key_at ctx sibling 0, sibling)
+
+(* Recursive insert; returns a promoted (key, node) when this level split.
+   Deferred persists of racy sibling pointers accumulate in [deferred]. *)
+let rec insert_rec ctx t n key value ~deferred =
+  if is_leaf ctx n then
+    if count ctx n < order || contains ctx n key then begin
+      upsert_entry ctx n key value;
+      None
+    end
+    else begin
+      let median, sibling = split ctx n ~ptr_pos:bug1_store_pos in
+      deferred := (n + off_sibling, 8) :: !deferred;
+      let target = if key >= median then sibling else n in
+      upsert_entry ctx target key value;
+      Some (median, sibling)
+    end
+  else begin
+    let child = child_for ctx n key in
+    match insert_rec ctx t child key value ~deferred with
+    | None -> None
+    | Some (median, new_child) ->
+        if count ctx n < order then begin
+          upsert_entry ctx n median (Int64.of_int new_child);
+          None
+        end
+        else begin
+          let up_median, sibling = split ctx n ~ptr_pos:bug2_store_pos in
+          deferred := (n + off_sibling, 8) :: !deferred;
+          let target = if median >= up_median then sibling else n in
+          upsert_entry ctx target median (Int64.of_int new_child);
+          Some (up_median, sibling)
+        end
+  end
+
+let grow_root ctx t old_root median new_node =
+  let new_root = alloc_node ctx ~tag:inner_tag in
+  set_key ctx new_root 0 Int64.min_int;
+  set_val ctx new_root 0 (Int64.of_int old_root);
+  set_key ctx new_root 1 median;
+  set_val ctx new_root 1 (Int64.of_int new_node);
+  set_count ctx new_root 2;
+  persist_node ctx new_root;
+  S.store_i64 ctx root_store_pos (t.meta + 0) (Int64.of_int new_root);
+  S.persist ctx __POS__ t.meta 16
+
+let insert t ctx ~key ~value =
+  S.with_frame ctx "ff_insert" @@ fun () ->
+  let deferred = ref [] in
+  Machine.Mutex.lock t.lock ctx __POS__;
+  let r = root ctx t in
+  (match insert_rec ctx t r (Int64.of_int key) value ~deferred with
+  | None -> ()
+  | Some (median, new_node) -> grow_root ctx t r median new_node);
+  Machine.Mutex.unlock t.lock ctx __POS__;
+  (* BUG (#1/#2): the sibling pointers published during splits are only
+     persisted here, outside the critical section. *)
+  List.iter (fun (addr, size) -> S.persist ctx __POS__ addr size) !deferred
+
+(* Fast-Fair treats insert and update as the same operation (§5). *)
+let update = insert
+
+let rec find_leaf ctx n key =
+  if is_leaf ctx n then n else find_leaf ctx (child_for ctx n key) key
+
+let find_leaf_i ctx n key = find_leaf ctx n (Int64.of_int key)
+
+let delete t ctx ~key =
+  S.with_frame ctx "ff_delete" @@ fun () ->
+  Machine.Mutex.with_lock t.lock ctx __POS__ @@ fun () ->
+  let leaf = find_leaf_i ctx (root ctx t) key in
+  let c = count ctx leaf in
+  let rec go i =
+    if i >= c then ()
+    else if Int64.to_int (key_at ctx leaf i) = key then begin
+      shift_left ctx leaf ~from:i ~cnt:c;
+      set_count ctx leaf (c - 1);
+      persist_entries ctx leaf
+    end
+    else go (i + 1)
+  in
+  go 0
+
+(* ---- lock-free read side ---- *)
+
+let lf_tag ctx n = S.load_i64 ctx lf_tag_load_pos (n + off_tag)
+
+let lf_count ctx n =
+  let c = Int64.to_int (S.load_i64 ctx lf_count_load_pos (n + off_count)) in
+  min (max c 0) order
+
+let lf_key_at ctx n i = S.load_i64 ctx leaf_key_load_pos (n + off_key i)
+let lf_val_at ctx n i = S.load_i64 ctx leaf_val_load_pos (n + off_val i)
+let lf_ptr ctx addr = Int64.to_int (S.load_i64 ctx ptr_load_pos addr)
+
+let rec lf_descend ctx n key =
+  if Int64.equal (lf_tag ctx n) leaf_tag then n
+  else begin
+    let c = max (lf_count ctx n) 1 in
+    let rec pick i best =
+      if i >= c then best
+      else if lf_key_at ctx n i <= key then pick (i + 1) i
+      else best
+    in
+    let child = lf_ptr ctx (n + off_val (pick 1 0)) in
+    if child = 0 then n else lf_descend ctx child key
+  end
+
+let get t ctx ~key =
+  S.with_frame ctx "ff_get" @@ fun () ->
+  let k64 = Int64.of_int key in
+  let r = Int64.to_int (S.load_i64 ctx lf_root_load_pos (t.meta + 0)) in
+  let leaf = lf_descend ctx r k64 in
+  let scan_node n =
+    let c = lf_count ctx n in
+    let rec scan i =
+      if i >= c then None
+      else if Int64.equal (lf_key_at ctx n i) k64 then Some (lf_val_at ctx n i)
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  match scan_node leaf with
+  | Some v -> Some v
+  | None ->
+      (* B-link: the key may have moved right during a concurrent split. *)
+      let c = lf_count ctx leaf in
+      if c > 0 && lf_key_at ctx leaf (c - 1) < k64 then begin
+        let sib = lf_ptr ctx (leaf + off_sibling) in
+        if sib = 0 then None else scan_node sib
+      end
+      else None
+
+let range t ctx ~lo ~hi =
+  S.with_frame ctx "ff_range" @@ fun () ->
+  let lo64 = Int64.of_int lo and hi64 = Int64.of_int hi in
+  let r = Int64.to_int (S.load_i64 ctx lf_root_load_pos (t.meta + 0)) in
+  let rec walk leaf acc steps =
+    if leaf = 0 || steps > 100000 then List.rev acc
+    else begin
+      let c = lf_count ctx leaf in
+      let rec scan i acc =
+        if i >= c then `More acc
+        else
+          let k = lf_key_at ctx leaf i in
+          if k > hi64 then `Done acc
+          else if k >= lo64 then
+            scan (i + 1) ((Int64.to_int k, lf_val_at ctx leaf i) :: acc)
+          else scan (i + 1) acc
+      in
+      match scan 0 acc with
+      | `Done acc -> List.rev acc
+      | `More acc -> walk (lf_ptr ctx (leaf + off_sibling)) acc (steps + 1)
+    end
+  in
+  walk (lf_descend ctx r lo64) [] 0
+
+(* ---- maintenance / verification ---- *)
+
+let rec leftmost_leaf ctx n =
+  if is_leaf ctx n then n
+  else leftmost_leaf ctx (Int64.to_int (val_at ctx n 0))
+
+let keys t ctx =
+  let rec walk leaf acc =
+    if leaf = 0 then List.rev acc
+    else begin
+      let c = count ctx leaf in
+      let acc = ref acc in
+      for i = 0 to c - 1 do
+        acc := Int64.to_int (key_at ctx leaf i) :: !acc
+      done;
+      walk (Int64.to_int (S.load_i64 ctx __POS__ (leaf + off_sibling))) !acc
+    end
+  in
+  walk (leftmost_leaf ctx (root ctx t)) []
+
+let check t ctx =
+  let rec check_node n ~depth =
+    if depth > 64 then failwith "fast-fair: cyclic or too-deep structure";
+    let c = count ctx n in
+    if c < 0 || c > order then failwith "fast-fair: bad count";
+    for i = 1 to c - 1 do
+      if key_at ctx n i < key_at ctx n (i - 1) then
+        failwith "fast-fair: unsorted keys"
+    done;
+    if not (is_leaf ctx n) then
+      for i = 0 to c - 1 do
+        let child = Int64.to_int (val_at ctx n i) in
+        if child = 0 then failwith "fast-fair: null child";
+        check_node child ~depth:(depth + 1)
+      done
+  in
+  check_node (root ctx t) ~depth:0;
+  let ks = keys t ctx in
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        if a > b then failwith "fast-fair: leaf chain unsorted" else sorted rest
+    | [ _ ] | [] -> ()
+  in
+  sorted ks

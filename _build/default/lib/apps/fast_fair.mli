@@ -1,0 +1,40 @@
+(** Fast-Fair: a PM-backed B+-tree (Hwang et al., FAST'18).
+
+    A B-link-style B+-tree with sibling pointers, mutex-protected writes
+    and lock-free reads, the concurrency-control mix of the original
+    (Table 1: Lock / Lock-Free). Nodes hold up to 8 entries so splits —
+    the code path both Fast-Fair bugs live on — occur frequently.
+
+    Injected bugs (Table 2):
+    - {b Bug #1} (known, reported by PMRace): when a leaf splits, the new
+      sibling's pointer is stored and published inside the critical
+      section but only persisted {e after} the lock is released. A thread
+      that inserts through the unpersisted pointer can have its durable
+      insert stranded in an unreachable node after a crash.
+    - {b Bug #2} (new, Figure 5): the same deferred-persist pattern on the
+      much rarer inner-node split path — it needs a split that propagates
+      one level up, i.e. roughly 64+ distinct keys with 8-entry nodes.
+
+    Both bugs share the traversal's pointer-load site, like the paper's
+    btree.h:878. *)
+
+include App_intf.KV
+
+val check : t -> Machine.Sched.ctx -> unit
+(** Structural invariant check (sorted keys, coherent counts); raises
+    [Failure] on violation. Call while no other thread is running. *)
+
+val recover : Machine.Sched.ctx -> meta_addr:int -> t
+(** Reopens a tree from a (post-crash) heap given the metadata block
+    address. *)
+
+val meta_addr : t -> int
+(** Address of the tree's metadata block, for {!recover}. *)
+
+val keys : t -> Machine.Sched.ctx -> int list
+(** All keys currently reachable in the tree, in order (lock-free scan via
+    the leaf sibling chain). *)
+
+val range : t -> Machine.Sched.ctx -> lo:int -> hi:int -> (int * int64) list
+(** Lock-free range scan over [lo, hi] inclusive, in key order, walking
+    the B-link leaf chain (the same racy reads as {!get}). *)

@@ -1,0 +1,50 @@
+type bug = {
+  gt_id : int;
+  gt_new : bool;
+  gt_desc : string;
+  gt_store_locs : string list;
+  gt_load_locs : string list;
+}
+
+type benign_rule =
+  | Pair of string * string
+  | Store_at of string
+  | Load_at of string
+
+type classification = Malign of int | Benign | False_positive
+
+let loc ((file, line, _, _) : string * int * int * int) =
+  Printf.sprintf "%s:%d" file line
+
+let race_locs (r : Hawkset.Report.race) =
+  ( Trace.Site.location r.Hawkset.Report.store_site,
+    Trace.Site.location r.Hawkset.Report.load_site )
+
+let matches_bug (store_loc, load_loc) bug =
+  List.mem store_loc bug.gt_store_locs && List.mem load_loc bug.gt_load_locs
+
+let matches_benign (store_loc, load_loc) = function
+  | Pair (s, l) -> String.equal s store_loc && String.equal l load_loc
+  | Store_at s -> String.equal s store_loc
+  | Load_at l -> String.equal l load_loc
+
+let classify ~bugs ~benign race =
+  let locs = race_locs race in
+  match List.find_opt (matches_bug locs) bugs with
+  | Some bug -> Malign bug.gt_id
+  | None ->
+      if List.exists (matches_benign locs) benign then Benign
+      else False_positive
+
+let bug_found ~bugs report id =
+  match List.find_opt (fun b -> b.gt_id = id) bugs with
+  | None -> false
+  | Some bug ->
+      List.exists
+        (fun r -> matches_bug (race_locs r) bug)
+        (Hawkset.Report.sorted report)
+
+let pp_classification ppf = function
+  | Malign id -> Format.fprintf ppf "malign(#%d)" id
+  | Benign -> Format.pp_print_string ppf "benign"
+  | False_positive -> Format.pp_print_string ppf "false-positive"

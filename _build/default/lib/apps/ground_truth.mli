@@ -1,0 +1,44 @@
+(** Ground-truth registry for the evaluated applications.
+
+    Each application declares its injected bugs (the Table 2 entries) and
+    the races its design tolerates. The harness matches HawkSet's reports
+    against this registry to regenerate Table 2 and to automate the
+    "Manual" classification of Table 4 (Malign / Benign / False Positive,
+    §3.3): in the paper that classification was done by hand; here the
+    bugs are injected deliberately, so the registry {e is} the manual
+    knowledge. *)
+
+type bug = {
+  gt_id : int;  (** The paper's Table 2 race number. *)
+  gt_new : bool;  (** Previously unknown (the ✓ column). *)
+  gt_desc : string;  (** e.g. "load unpersisted pointer". *)
+  gt_store_locs : string list;  (** ["file:line"] store sites. *)
+  gt_load_locs : string list;  (** ["file:line"] load sites. *)
+}
+
+(** A rule declaring reported races as tolerated by design (§3.3's Benign
+    persistency-induced races — typically lock-free readers that the
+    application retries or revalidates). Rules are consulted only after
+    the malign bugs, so a benign rule can cover a load site that also
+    participates in a bug. *)
+type benign_rule =
+  | Pair of string * string  (** Exact (store, load) location pair. *)
+  | Store_at of string  (** Any race whose store is at this location. *)
+  | Load_at of string  (** Any race whose load is at this location. *)
+
+type classification = Malign of int | Benign | False_positive
+
+val loc : string * int * int * int -> string
+(** [loc __POS__] is the ["file:line"] string of a source position — apps
+    bind positions with [let site = __POS__] and pass the binding to both
+    the access and the registry so the two always agree. *)
+
+val classify :
+  bugs:bug list -> benign:benign_rule list -> Hawkset.Report.race ->
+  classification
+
+val bug_found : bugs:bug list -> Hawkset.Report.t -> int -> bool
+(** [bug_found ~bugs report id] is [true] when some reported race matches
+    bug [id]'s site pairs. *)
+
+val pp_classification : Format.formatter -> classification -> unit

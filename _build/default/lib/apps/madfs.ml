@@ -1,0 +1,108 @@
+module S = Machine.Sched
+
+let name = "madfs"
+let block_size = 256
+let log_capacity = 1 lsl 17
+
+(* File layout:
+     word 0: log tail index
+     words 1 .. log_capacity: log entries, packed (vblock << 32 | pblock)
+     then the block table: one physical pointer per virtual block. *)
+type t = { base : int; blocks : int }
+
+let off_tail = 0
+let off_log i = 8 + (8 * i)
+let off_table t v = ((1 + log_capacity) * 8) + (8 * v) + t.base
+
+(* ---- named sites (all benign by design) ---- *)
+
+let tail_load_pos = __POS__
+let tail_cas_pos = __POS__
+let log_store_pos = __POS__
+let log_load_pos = __POS__
+let table_store_pos = __POS__
+let table_load_pos = __POS__
+let data_store_pos = __POS__
+let data_load_pos = __POS__
+
+let bugs = []
+
+let benign =
+  List.map
+    (fun pos -> Ground_truth.Load_at (Ground_truth.loc pos))
+    [ tail_load_pos; tail_cas_pos; log_load_pos; table_load_pos; data_load_pos ]
+
+let sync_config = Machine.Sync_config.builtin
+
+let create ctx ~blocks =
+  let size = ((1 + log_capacity + blocks) * 8) in
+  let base = S.alloc ctx ~align:64 size in
+  { base; blocks }
+
+let log_length t ctx =
+  Int64.to_int (S.load_i64 ctx tail_load_pos (t.base + off_tail))
+
+let base_addr t = t.base
+
+let recover ctx ~base ~blocks =
+  let t = { base; blocks } in
+  (* The log is the truth: replay every persisted entry in order. An
+     entry is 8 bytes and written before the tail advances, so the
+     persisted tail bounds a fully-valid prefix; zero entries (a tail
+     that persisted ahead of its entry) are skipped. *)
+  let tail = Int64.to_int (S.load_i64 ctx __POS__ (t.base + off_tail)) in
+  for i = 0 to min tail log_capacity - 1 do
+    let entry = S.load_i64 ctx __POS__ (t.base + off_log i) in
+    if not (Int64.equal entry 0L) then begin
+      let packed = Int64.to_int entry in
+      let vblock = packed lsr 32 in
+      let pblock = packed land 0xFFFFFFFF in
+      S.store_i64 ctx table_store_pos (off_table t vblock) (Int64.of_int pblock)
+    end
+  done;
+  S.persist ctx __POS__ (off_table t 0) (8 * t.blocks);
+  t
+
+let write t ctx ~offset ~data =
+  S.with_frame ctx "madfs_write" @@ fun () ->
+  let vblock = (offset / block_size) mod t.blocks in
+  (* Copy-on-write: fresh physical block, data persisted before the log
+     entry makes it reachable. *)
+  let pblock = S.alloc ctx ~align:64 block_size in
+  let chunk = Bytes.make block_size '\000' in
+  Bytes.blit data 0 chunk 0 (min (Bytes.length data) block_size);
+  S.store_bytes ctx data_store_pos pblock chunk;
+  S.persist ctx data_store_pos pblock block_size;
+  (* Append the 8-byte log entry atomically (lock-free tail bump). *)
+  let entry = Int64.of_int ((vblock lsl 32) lor (pblock land 0xFFFFFFFF)) in
+  let rec append () =
+    let tail = S.load_i64 ctx tail_load_pos (t.base + off_tail) in
+    let idx = Int64.to_int tail in
+    if idx >= log_capacity then failwith "madfs: log full";
+    if
+      S.cas_i64 ctx tail_cas_pos (t.base + off_tail) ~expected:tail
+        ~desired:(Int64.add tail 1L)
+    then idx
+    else append ()
+  in
+  let idx = append () in
+  S.store_i64 ctx log_store_pos (t.base + off_log idx) entry;
+  S.persist ctx log_store_pos (t.base + off_log idx) 8;
+  (* The block table is a volatile-style cache of the log: its update is
+     visible immediately and only made durable by fsync — tolerated by
+     MadFS's contract (benign races). *)
+  S.store_i64 ctx table_store_pos (off_table t vblock) (Int64.of_int pblock)
+
+let read t ctx ~offset =
+  S.with_frame ctx "madfs_read" @@ fun () ->
+  let vblock = (offset / block_size) mod t.blocks in
+  let pblock =
+    Int64.to_int (S.load_i64 ctx table_load_pos (off_table t vblock))
+  in
+  if pblock = 0 then Bytes.make block_size '\000'
+  else S.load_bytes ctx data_load_pos pblock block_size
+
+let fsync t ctx =
+  S.with_frame ctx "madfs_fsync" @@ fun () ->
+  S.persist ctx __POS__ (t.base + off_tail) 8;
+  S.persist ctx __POS__ (off_table t 0) (8 * t.blocks)

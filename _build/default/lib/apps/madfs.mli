@@ -1,0 +1,50 @@
+(** MadFS: a userspace PM filesystem with per-file virtualization
+    (FAST'23).
+
+    Each file is a virtual-to-physical block mapping maintained through a
+    compact crash-consistent log whose 8-byte entries are appended
+    atomically with CAS — everything is lock-free (Table 1). Writes
+    allocate a fresh physical block (copy-on-write), persist the data,
+    append a log entry and update the block table.
+
+    MadFS has {e no injected bugs}: HawkSet reports several
+    persistency-induced races on it, but its relaxed, fsync-based
+    guarantees tolerate all of them — they are the all-benign row of
+    Table 4 ("we show that HawkSet is able to detect these races when
+    MadFS is incorrectly used in a crash-consistent application", §5.1).
+
+    Block size is scaled from the paper's 4 KiB to 256 bytes so that the
+    trace volume of data stores stays proportionate in the simulator
+    (documented in DESIGN.md). *)
+
+type t
+
+val block_size : int
+
+val create : Machine.Sched.ctx -> blocks:int -> t
+(** A file of [blocks] virtual blocks, initially holes (reads as zero). *)
+
+val write : t -> Machine.Sched.ctx -> offset:int -> data:bytes -> unit
+(** Copy-on-write block write; [offset] is rounded down to a block
+    boundary and [data] is truncated/padded to one block. *)
+
+val read : t -> Machine.Sched.ctx -> offset:int -> bytes
+(** Reads the block containing [offset]. *)
+
+val fsync : t -> Machine.Sched.ctx -> unit
+(** Persists the log tail and block table — the explicit durability point
+    of MadFS's contract. *)
+
+val log_length : t -> Machine.Sched.ctx -> int
+
+val base_addr : t -> int
+
+val recover : Machine.Sched.ctx -> base:int -> blocks:int -> t
+(** Post-crash recovery: replays the persisted log prefix into the block
+    table — MadFS's "compact, crash-consistent log" is the single source
+    of truth; the table is merely its cache. *)
+
+val bugs : Ground_truth.bug list
+val benign : Ground_truth.benign_rule list
+val sync_config : Machine.Sync_config.t
+val name : string

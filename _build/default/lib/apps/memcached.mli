@@ -1,0 +1,53 @@
+(** Memcached-pmem: the Lenovo PM fork of Memcached (§5).
+
+    A lock-free key-value store: items live in PM slabs, hash-bucket
+    chains are manipulated with CAS (Table 1: Lock-Free), and freed items
+    are recycled through a PM free list — the memory-reuse pattern that
+    defeats the Initialization Removal Heuristic (§5.4, §7): a recycled
+    item's words were already published to other threads, so its
+    re-initialization stores are no longer pruned and surface as the
+    false positives of Table 4.
+
+    Injected bugs (Table 2 #10-#15, all known, reported by PMRace):
+    - {b #10}/{b #11}: append/prepend build a new item from an old —
+      possibly unpersisted — one; the new value and metadata stores are
+      never flushed ("load unpersisted value").
+    - {b #12}: set stores the item's value without ever flushing it.
+    - {b #13}: set stores the item's chain pointer without flushing it
+      ("load unpersisted pointer").
+    - {b #14}: incr/decr update the CAS-id metadata without flushing it.
+    - {b #15}: the free-list push stores the item's next pointer without
+      flushing it; the pop reads it ("load unpersisted metadata"). *)
+
+type t
+
+val create : Machine.Sched.ctx -> t
+val set : t -> Machine.Sched.ctx -> key:int -> value:int64 -> unit
+val get : t -> Machine.Sched.ctx -> key:int -> int64 option
+
+val add : t -> Machine.Sched.ctx -> key:int -> value:int64 -> bool
+(** Stores only when the key is absent. *)
+
+val replace : t -> Machine.Sched.ctx -> key:int -> value:int64 -> bool
+(** Stores only when the key is present. *)
+
+val append : t -> Machine.Sched.ctx -> key:int -> value:int64 -> bool
+val prepend : t -> Machine.Sched.ctx -> key:int -> value:int64 -> bool
+
+val cas_op :
+  t -> Machine.Sched.ctx -> key:int -> expected:int64 -> desired:int64 -> bool
+(** Memcached's compare-and-swap command: replaces the value only when
+    the item's CAS id matches. *)
+
+val delete : t -> Machine.Sched.ctx -> key:int -> unit
+val incr : t -> Machine.Sched.ctx -> key:int -> unit
+val decr : t -> Machine.Sched.ctx -> key:int -> unit
+
+val bugs : Ground_truth.bug list
+val benign : Ground_truth.benign_rule list
+val sync_config : Machine.Sync_config.t
+val name : string
+
+val reused_items : t -> int
+(** How many item allocations were served from the PM free list (testing
+    aid: >0 means the IRH-defeating pattern occurred). *)

@@ -1,0 +1,527 @@
+module S = Machine.Sched
+
+let name = "p-art"
+
+(* Node type tags. *)
+let tag_leaf = 1L
+let tag_n4 = 4L
+let tag_n16 = 16L
+let tag_n48 = 48L
+let tag_n256 = 256L
+
+(* Common header: word 0 = tag, word 1 = count.
+   Leaf: word 1 = key, word 2 = value.
+   Children always start on their own cache line, after the header/keys
+   region the bookkeeping persists cover — so a child-pointer store is
+   durable only through its own (buggily deferred) persist:
+   N4:   bytes 16-47 = key bytes (as words); children from byte 64.
+   N16:  bytes 16-143 = key bytes; children from byte 192.
+   N48:  bytes 16-271 = 256-byte child index (0 = empty, else slot+1);
+         children from byte 320.
+   N256: children from byte 64, indexed by key byte. *)
+let leaf_size = 3 * 8
+let n4_size = 128
+let n16_size = 320
+let n48_size = 704
+let n256_size = 64 + (256 * 8)
+let n48_index_off = 16
+let n48_children_off = 320
+let n4_children_off = 64
+let n16_children_off = 192
+let n256_children_off = 64
+
+type t = { meta : int; lock : Machine.Spinlock.t }
+
+(* ---- named sites ---- *)
+
+(* Bug #8: add_child pointer stores, one per node type (the paper's
+   N4.cpp:22 / N16.cpp:13 / N256.cpp:17); persisted after the critical
+   section. *)
+let bug8_n4_pos = __POS__
+let bug8_n16_pos = __POS__
+let bug8_n48_pos = __POS__
+let bug8_n256_pos = __POS__
+
+(* Bug #9: remove_child's slot clear; persisted after the critical
+   section. *)
+let bug9_store_pos = __POS__
+
+(* Lookup-side child loads (N4.cpp:56 / N16.cpp:61 / N256.cpp:39). *)
+let lf_find_n4_pos = __POS__
+let lf_find_n16_pos = __POS__
+let lf_find_n48_pos = __POS__
+let lf_find_n256_pos = __POS__
+
+(* Writer-side child loads (under the tree lock). *)
+let wr_find_pos = __POS__
+
+(* Benign lock-free loads. *)
+let lf_tag_pos = __POS__
+let lf_leaf_key_pos = __POS__
+let lf_leaf_val_pos = __POS__
+
+(* Lock-free loads of node bookkeeping (counts, key bytes, N48 index). *)
+let lf_meta_pos = __POS__
+
+let bugs =
+  let l = Ground_truth.loc in
+  let load_locs =
+    [ l lf_find_n4_pos; l lf_find_n16_pos; l lf_find_n48_pos;
+      l lf_find_n256_pos; l wr_find_pos ]
+  in
+  [
+    {
+      Ground_truth.gt_id = 8;
+      gt_new = false;
+      gt_desc = "load unpersisted value";
+      gt_store_locs =
+        [ l bug8_n4_pos; l bug8_n16_pos; l bug8_n48_pos; l bug8_n256_pos ];
+      gt_load_locs = load_locs;
+    };
+    {
+      Ground_truth.gt_id = 9;
+      gt_new = false;
+      gt_desc = "load unpersisted value (removal)";
+      gt_store_locs = [ l bug9_store_pos ];
+      gt_load_locs = load_locs;
+    };
+  ]
+
+let benign =
+  List.map
+    (fun pos -> Ground_truth.Load_at (Ground_truth.loc pos))
+    [
+      lf_tag_pos; lf_leaf_key_pos; lf_leaf_val_pos; lf_find_n4_pos;
+      lf_find_n16_pos; lf_find_n48_pos; lf_find_n256_pos; lf_meta_pos;
+    ]
+
+let primitive = "art_lock"
+let sync_config = Machine.Sync_config.register Machine.Sync_config.builtin primitive
+
+(* ---- construction ---- *)
+
+let alloc_node ctx tag size =
+  let n = S.alloc ctx ~align:64 size in
+  S.store_i64 ctx __POS__ n tag;
+  S.store_i64 ctx __POS__ (n + 8) 0L;
+  n
+
+let alloc_leaf ctx ~key ~value =
+  let n = S.alloc ctx ~align:8 leaf_size in
+  S.store_i64 ctx __POS__ n tag_leaf;
+  S.store_i64 ctx __POS__ (n + 8) (Int64.of_int key);
+  S.store_i64 ctx __POS__ (n + 16) value;
+  S.persist ctx __POS__ n leaf_size;
+  n
+
+let create ctx =
+  let meta = S.alloc ctx ~align:64 16 in
+  let root = alloc_node ctx tag_n4 n4_size in
+  S.persist ctx __POS__ root n4_size;
+  S.store_i64 ctx __POS__ meta (Int64.of_int root);
+  S.persist ctx __POS__ meta 8;
+  { meta; lock = Machine.Spinlock.create ~primitive ctx }
+
+let meta_addr t = t.meta
+
+let recover_at ctx ~meta_addr =
+  { meta = meta_addr; lock = Machine.Spinlock.create ~primitive ctx }
+
+let key_byte key level = (key lsr (8 * (7 - level))) land 0xFF
+let tag ctx n = S.load_i64 ctx __POS__ n
+let count ctx n = Int64.to_int (S.load_i64 ctx __POS__ (n + 8))
+
+let set_count ctx n c =
+  S.store_i64 ctx __POS__ (n + 8) (Int64.of_int c)
+
+(* ---- per-type child access (writer side unless noted) ---- *)
+
+let n4_key ctx n i = Int64.to_int (S.load_i64 ctx __POS__ (n + 16 + (8 * i)))
+let n4_child_addr n i = n + n4_children_off + (8 * i)
+let n16_key ctx n i = Int64.to_int (S.load_i64 ctx __POS__ (n + 16 + (8 * i)))
+let n16_child_addr n i = n + n16_children_off + (8 * i)
+let n48_slot ctx n b = S.load_u8 ctx __POS__ (n + n48_index_off + b)
+let n48_child_addr n s = n + n48_children_off + (8 * s)
+let n256_child_addr n b = n + n256_children_off + (8 * b)
+
+let find_child ctx pos n b =
+  match Int64.to_int (tag ctx n) with
+  | 4 ->
+      let c = min (count ctx n) 4 in
+      let rec go i =
+        if i >= c then 0
+        else if n4_key ctx n i = b then
+          Int64.to_int (S.load_i64 ctx pos (n4_child_addr n i))
+        else go (i + 1)
+      in
+      go 0
+  | 16 ->
+      let c = min (count ctx n) 16 in
+      let rec go i =
+        if i >= c then 0
+        else if n16_key ctx n i = b then
+          Int64.to_int (S.load_i64 ctx pos (n16_child_addr n i))
+        else go (i + 1)
+      in
+      go 0
+  | 48 ->
+      let s = n48_slot ctx n b in
+      if s = 0 then 0
+      else Int64.to_int (S.load_i64 ctx pos (n48_child_addr n (s - 1)))
+  | 256 -> Int64.to_int (S.load_i64 ctx pos (n256_child_addr n b))
+  | _ -> 0
+
+let is_full ctx n =
+  match Int64.to_int (tag ctx n) with
+  | 4 -> count ctx n >= 4
+  | 16 -> count ctx n >= 16
+  | 48 -> count ctx n >= 48
+  | _ -> false
+
+(* Adds [child] under byte [b]; the pointer store uses the per-type bug-#8
+   site and its persist is pushed onto [deferred]. The bookkeeping words
+   (count, key byte / index byte) are persisted immediately. *)
+let add_child ctx n b child ~deferred =
+  let child64 = Int64.of_int child in
+  (* A slot whose key byte matches but whose pointer was cleared by a
+     removal is reused, so delete-then-reinsert finds the new child. *)
+  let existing_slot keyed_count key_of =
+    let rec go i =
+      if i >= keyed_count then None
+      else if key_of i = b then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  match Int64.to_int (tag ctx n) with
+  | 4 -> (
+      match existing_slot (count ctx n) (n4_key ctx n) with
+      | Some i ->
+          S.store_i64 ctx bug8_n4_pos (n4_child_addr n i) child64;
+          deferred := (n4_child_addr n i, 8) :: !deferred
+      | None ->
+          let c = count ctx n in
+          S.store_i64 ctx __POS__ (n + 16 + (8 * c)) (Int64.of_int b);
+          S.store_i64 ctx bug8_n4_pos (n4_child_addr n c) child64;
+          set_count ctx n (c + 1);
+          S.persist ctx __POS__ n 48;
+          deferred := (n4_child_addr n c, 8) :: !deferred)
+  | 16 -> (
+      match existing_slot (count ctx n) (n16_key ctx n) with
+      | Some i ->
+          S.store_i64 ctx bug8_n16_pos (n16_child_addr n i) child64;
+          deferred := (n16_child_addr n i, 8) :: !deferred
+      | None ->
+          let c = count ctx n in
+          S.store_i64 ctx __POS__ (n + 16 + (8 * c)) (Int64.of_int b);
+          S.store_i64 ctx bug8_n16_pos (n16_child_addr n c) child64;
+          set_count ctx n (c + 1);
+          S.persist ctx __POS__ n 144;
+          deferred := (n16_child_addr n c, 8) :: !deferred)
+  | 48 ->
+      let s = n48_slot ctx n b in
+      if s <> 0 then begin
+        S.store_i64 ctx bug8_n48_pos (n48_child_addr n (s - 1)) child64;
+        deferred := (n48_child_addr n (s - 1), 8) :: !deferred
+      end
+      else begin
+        let c = count ctx n in
+        S.store_u8 ctx __POS__ (n + n48_index_off + b) (c + 1);
+        S.store_i64 ctx bug8_n48_pos (n48_child_addr n c) child64;
+        set_count ctx n (c + 1);
+        S.persist ctx __POS__ n n48_children_off;
+        deferred := (n48_child_addr n c, 8) :: !deferred
+      end
+  | _ ->
+      S.store_i64 ctx bug8_n256_pos (n256_child_addr n b) child64;
+      set_count ctx n (count ctx n + 1);
+      S.persist ctx __POS__ (n + 8) 8;
+      deferred := (n256_child_addr n b, 8) :: !deferred
+
+(* Copy all children of [n] into a fresh, larger node (initialization:
+   plain stores, persisted before publication). *)
+let grow ctx n =
+  let each f =
+    match Int64.to_int (tag ctx n) with
+    | 4 ->
+        for i = 0 to count ctx n - 1 do
+          f (n4_key ctx n i)
+            (Int64.to_int (S.load_i64 ctx wr_find_pos (n4_child_addr n i)))
+        done
+    | 16 ->
+        for i = 0 to count ctx n - 1 do
+          f (n16_key ctx n i)
+            (Int64.to_int (S.load_i64 ctx wr_find_pos (n16_child_addr n i)))
+        done
+    | _ ->
+        for b = 0 to 255 do
+          let s = n48_slot ctx n b in
+          if s <> 0 then
+            f b
+              (Int64.to_int
+                 (S.load_i64 ctx wr_find_pos (n48_child_addr n (s - 1))))
+        done
+  in
+  let ntag, size =
+    match Int64.to_int (tag ctx n) with
+    | 4 -> (tag_n16, n16_size)
+    | 16 -> (tag_n48, n48_size)
+    | _ -> (tag_n256, n256_size)
+  in
+  let bigger = alloc_node ctx ntag size in
+  let slot = ref 0 in
+  each (fun b child ->
+      (match Int64.to_int ntag with
+      | 16 ->
+          S.store_i64 ctx __POS__ (bigger + 16 + (8 * !slot)) (Int64.of_int b);
+          S.store_i64 ctx __POS__ (n16_child_addr bigger !slot)
+            (Int64.of_int child)
+      | 48 ->
+          S.store_u8 ctx __POS__ (bigger + n48_index_off + b) (!slot + 1);
+          S.store_i64 ctx __POS__ (n48_child_addr bigger !slot)
+            (Int64.of_int child)
+      | _ ->
+          S.store_i64 ctx __POS__ (n256_child_addr bigger b)
+            (Int64.of_int child));
+      incr slot);
+  set_count ctx bigger !slot;
+  S.persist ctx __POS__ bigger size;
+  bigger
+
+(* Replace the child slot of [parent] that points to [old_child]; this is
+   the growth publication and is persisted in-section (not a bug site). *)
+let replace_child ctx parent b old_child new_child =
+  let slot_addr =
+    match Int64.to_int (tag ctx parent) with
+    | 4 ->
+        let rec go i =
+          if i >= count ctx parent then None
+          else if n4_key ctx parent i = b then Some (n4_child_addr parent i)
+          else go (i + 1)
+        in
+        go 0
+    | 16 ->
+        let rec go i =
+          if i >= count ctx parent then None
+          else if n16_key ctx parent i = b then Some (n16_child_addr parent i)
+          else go (i + 1)
+        in
+        go 0
+    | 48 ->
+        let s = n48_slot ctx parent b in
+        if s = 0 then None else Some (n48_child_addr parent (s - 1))
+    | _ -> Some (n256_child_addr parent b)
+  in
+  match slot_addr with
+  | Some addr ->
+      assert (Int64.to_int (S.load_i64 ctx wr_find_pos addr) = old_child);
+      S.store_i64 ctx __POS__ addr (Int64.of_int new_child);
+      S.persist ctx __POS__ addr 8
+  | None -> assert false
+
+let remove_child ctx n b ~deferred =
+  match Int64.to_int (tag ctx n) with
+  | 4 | 16 ->
+      let keys_off = 16 in
+      let child_addr =
+        if Int64.to_int (tag ctx n) = 4 then n4_child_addr n
+        else n16_child_addr n
+      in
+      let c = count ctx n in
+      let rec go i =
+        if i >= c then ()
+        else if
+          Int64.to_int (S.load_i64 ctx __POS__ (n + keys_off + (8 * i))) = b
+        then begin
+          S.store_i64 ctx bug9_store_pos (child_addr i) 0L;
+          deferred := (child_addr i, 8) :: !deferred
+        end
+        else go (i + 1)
+      in
+      go 0
+  | 48 ->
+      let s = n48_slot ctx n b in
+      if s <> 0 then begin
+        S.store_i64 ctx bug9_store_pos (n48_child_addr n (s - 1)) 0L;
+        deferred := (n48_child_addr n (s - 1), 8) :: !deferred
+      end
+  | _ ->
+      S.store_i64 ctx bug9_store_pos (n256_child_addr n b) 0L;
+      deferred := (n256_child_addr n b, 8) :: !deferred
+
+(* ---- operations ---- *)
+
+let leaf_key ctx l = Int64.to_int (S.load_i64 ctx __POS__ (l + 8))
+
+(* True when a keyed slot for byte [b] already exists (even if cleared by
+   a removal) — adding there does not need room. *)
+let has_keyed_slot ctx n b =
+  match Int64.to_int (tag ctx n) with
+  | 4 ->
+      let rec go i = i < count ctx n && (n4_key ctx n i = b || go (i + 1)) in
+      go 0
+  | 16 ->
+      let rec go i = i < count ctx n && (n16_key ctx n i = b || go (i + 1)) in
+      go 0
+  | 48 -> n48_slot ctx n b <> 0
+  | _ -> true
+
+let insert t ctx ~key ~value =
+  S.with_frame ctx "art_insert" @@ fun () ->
+  let deferred = ref [] in
+  Machine.Spinlock.lock t.lock ctx __POS__;
+  let rec descend parent pb node level =
+    let b = key_byte key level in
+    let child = find_child ctx wr_find_pos node b in
+    if child = 0 then begin
+      if is_full ctx node && find_child ctx wr_find_pos node b = 0
+         && not (has_keyed_slot ctx node b)
+      then begin
+        let bigger = grow ctx node in
+        (if parent = 0 then begin
+           (* Root growth: publish through the metadata block. *)
+           S.store_i64 ctx __POS__ (t.meta + 0) (Int64.of_int bigger);
+           S.persist ctx __POS__ (t.meta + 0) 8
+         end
+         else replace_child ctx parent pb node bigger);
+        add_child ctx bigger b (alloc_leaf ctx ~key ~value) ~deferred
+      end
+      else add_child ctx node b (alloc_leaf ctx ~key ~value) ~deferred
+    end
+    else if Int64.equal (tag ctx child) tag_leaf then begin
+      let k' = leaf_key ctx child in
+      if k' = key then begin
+        (* In-place value update, correctly persisted. *)
+        S.store_i64 ctx __POS__ (child + 16) value;
+        S.persist ctx __POS__ (child + 16) 8
+      end
+      else begin
+        (* Build the chain of fresh N4 nodes down to the diverging byte
+           (initialization: persisted before publication). *)
+        let rec build lvl =
+          let nb = key_byte key lvl and ob = key_byte k' lvl in
+          let node' = alloc_node ctx tag_n4 n4_size in
+          if nb = ob then begin
+            let inner = build (lvl + 1) in
+            let d = ref [] in
+            add_child ctx node' nb inner ~deferred:d;
+            List.iter (fun (a, s) -> S.persist ctx __POS__ a s) !d
+          end
+          else begin
+            let d = ref [] in
+            add_child ctx node' nb (alloc_leaf ctx ~key ~value) ~deferred:d;
+            add_child ctx node' ob child ~deferred:d;
+            List.iter (fun (a, s) -> S.persist ctx __POS__ a s) !d
+          end;
+          S.persist ctx __POS__ node' n4_size;
+          node'
+        in
+        let sub = build (level + 1) in
+        replace_child ctx node b child sub
+      end
+    end
+    else descend node b child (level + 1)
+  in
+  let root = Int64.to_int (S.load_i64 ctx __POS__ (t.meta + 0)) in
+  descend 0 0 root 0;
+  Machine.Spinlock.unlock t.lock ctx __POS__;
+  (* BUG #8/#9: child-slot persists happen only here, after unlock. *)
+  List.iter (fun (addr, size) -> S.persist ctx __POS__ addr size) !deferred
+
+let update = insert
+
+let delete t ctx ~key =
+  S.with_frame ctx "art_delete" @@ fun () ->
+  let deferred = ref [] in
+  Machine.Spinlock.lock t.lock ctx __POS__;
+  let rec descend node level =
+    let b = key_byte key level in
+    let child = find_child ctx wr_find_pos node b in
+    if child = 0 then ()
+    else if Int64.equal (tag ctx child) tag_leaf then begin
+      if leaf_key ctx child = key then remove_child ctx node b ~deferred
+    end
+    else descend child (level + 1)
+  in
+  let root = Int64.to_int (S.load_i64 ctx __POS__ (t.meta + 0)) in
+  descend root 0;
+  Machine.Spinlock.unlock t.lock ctx __POS__;
+  List.iter (fun (addr, size) -> S.persist ctx __POS__ addr size) !deferred
+
+let get t ctx ~key =
+  S.with_frame ctx "art_get" @@ fun () ->
+  let lf_count n =
+    min (max (Int64.to_int (S.load_i64 ctx lf_meta_pos (n + 8))) 0) 256
+  in
+  let lf_key n i = Int64.to_int (S.load_i64 ctx lf_meta_pos (n + 16 + (8 * i))) in
+  let lf_find ctx n b =
+    match Int64.to_int (S.load_i64 ctx lf_tag_pos n) with
+    | 4 ->
+        let c = min (lf_count n) 4 in
+        let rec go i =
+          if i >= c then 0
+          else if lf_key n i = b then
+            Int64.to_int (S.load_i64 ctx lf_find_n4_pos (n4_child_addr n i))
+          else go (i + 1)
+        in
+        go 0
+    | 16 ->
+        let c = min (lf_count n) 16 in
+        let rec go i =
+          if i >= c then 0
+          else if lf_key n i = b then
+            Int64.to_int (S.load_i64 ctx lf_find_n16_pos (n16_child_addr n i))
+          else go (i + 1)
+        in
+        go 0
+    | 48 ->
+        let s = S.load_u8 ctx lf_meta_pos (n + n48_index_off + b) in
+        if s = 0 then 0
+        else Int64.to_int (S.load_i64 ctx lf_find_n48_pos (n48_child_addr n (s - 1)))
+    | 256 -> Int64.to_int (S.load_i64 ctx lf_find_n256_pos (n256_child_addr n b))
+    | _ -> 0
+  in
+  let rec descend node level =
+    if node = 0 then None
+    else if Int64.equal (S.load_i64 ctx lf_tag_pos node) tag_leaf then
+      if Int64.to_int (S.load_i64 ctx lf_leaf_key_pos (node + 8)) = key then
+        Some (S.load_i64 ctx lf_leaf_val_pos (node + 16))
+      else None
+    else descend (lf_find ctx node (key_byte key level)) (level + 1)
+  in
+  descend (Int64.to_int (S.load_i64 ctx lf_tag_pos (t.meta + 0))) 0
+
+let node_type_counts t ctx =
+  let n4 = ref 0 and n16 = ref 0 and n48 = ref 0 and n256 = ref 0 in
+  let rec walk node =
+    if node <> 0 then
+      match Int64.to_int (tag ctx node) with
+      | 1 -> ()
+      | 4 ->
+          incr n4;
+          for i = 0 to count ctx node - 1 do
+            walk (Int64.to_int (S.load_i64 ctx __POS__ (n4_child_addr node i)))
+          done
+      | 16 ->
+          incr n16;
+          for i = 0 to count ctx node - 1 do
+            walk (Int64.to_int (S.load_i64 ctx __POS__ (n16_child_addr node i)))
+          done
+      | 48 ->
+          incr n48;
+          for b = 0 to 255 do
+            let s = n48_slot ctx node b in
+            if s <> 0 then
+              walk
+                (Int64.to_int
+                   (S.load_i64 ctx __POS__ (n48_child_addr node (s - 1))))
+          done
+      | 256 ->
+          incr n256;
+          for b = 0 to 255 do
+            walk (Int64.to_int (S.load_i64 ctx __POS__ (n256_child_addr node b)))
+          done
+      | _ -> ()
+  in
+  walk (Int64.to_int (S.load_i64 ctx __POS__ (t.meta + 0)));
+  (!n4, !n16, !n48, !n256)

@@ -1,0 +1,25 @@
+(** P-ART: a crash-consistent adaptive radix tree (RECIPE, SOSP'19; the
+    Durinn-provided variant of §5).
+
+    Keys are traversed byte-by-byte; nodes adapt among the classic ART
+    arities N4 / N16 / N48 / N256, growing in place-replacement style
+    (copy to the bigger node, swap the parent pointer). Writes take the
+    tree lock — modelled as a custom ["art_lock"] primitive that needs a
+    sync-configuration entry (§5.5) — and gets are lock-free.
+
+    Injected bugs (Table 2, believed to match Durinn's reports):
+    - {b Bug #8}: the child-pointer stores of every [add_child] variant
+      are persisted only after the critical section; a lock-free lookup
+      can traverse (and a crash can orphan) the unpersisted child.
+    - {b Bug #9}: [remove_child] clears the slot but persists the clear
+      after the critical section — a lookup's "not found" can outlive a
+      crash that resurrects the child. *)
+
+include App_intf.KV
+
+val node_type_counts : t -> Machine.Sched.ctx -> int * int * int * int
+(** (n4, n16, n48, n256) populations — checks that growth actually
+    exercises every node type. *)
+
+val meta_addr : t -> int
+val recover_at : Machine.Sched.ctx -> meta_addr:int -> t

@@ -1,0 +1,283 @@
+module S = Machine.Sched
+
+let name = "p-clht"
+let slots = 3 (* key/value pairs per cache-line bucket *)
+
+(* Bucket layout (one cache line):
+     words 0-2: keys (0 = empty)
+     words 3-5: values
+     word 6:    overflow-chain pointer
+     word 7:    padding *)
+let bucket_size = Pmem.Layout.line_size
+let off_key i = 8 * i
+let off_val i = 8 * (slots + i)
+let off_next = 8 * (2 * slots)
+
+(* Table descriptor: word 0 = bucket count; buckets start at +64 so each
+   is line-aligned. Header block: word 0 = root descriptor pointer. *)
+let desc_header = 64
+
+(* ---- named sites ---- *)
+
+(* Bug #4: the rehash's root-pointer swap; persisted only after the
+   rehash lock is released. *)
+let bug4_store_pos = __POS__
+
+(* The root-pointer load — lock-free, used by both gets and inserts (the
+   inserting thread is the one that strands its entry in the new table). *)
+let root_load_pos = __POS__
+
+(* Lock-free get loads (benign). *)
+let lf_key_load_pos = __POS__
+let lf_val_load_pos = __POS__
+let lf_next_load_pos = __POS__
+
+(* Rehash's scan of the old table (benign: the global rehash lock does
+   not take the per-bucket locks in this simplified port). *)
+let rehash_scan_load_pos = __POS__
+
+let bugs =
+  [
+    {
+      Ground_truth.gt_id = 4;
+      gt_new = false;
+      gt_desc = "load unpersisted pointer";
+      gt_store_locs = [ Ground_truth.loc bug4_store_pos ];
+      gt_load_locs = [ Ground_truth.loc root_load_pos ];
+    };
+  ]
+
+let benign =
+  List.map
+    (fun pos -> Ground_truth.Load_at (Ground_truth.loc pos))
+    [
+      lf_key_load_pos; lf_val_load_pos; lf_next_load_pos; root_load_pos;
+      rehash_scan_load_pos;
+    ]
+
+let primitive = "clht_cas_lock"
+let sync_config = Machine.Sync_config.register Machine.Sync_config.builtin primitive
+
+(* Volatile view of the current table: the descriptor address paired with
+   the per-bucket lock array (the lock words live in the buckets in the
+   original; the spinlocks model the wrapped CAS primitives). [retiring]
+   is CLHT's resize protocol: once set, writers that acquire a bucket lock
+   re-check it and retry on the next table generation, so the rehash can
+   drain each bucket with a transient lock/unlock instead of holding every
+   lock at once (which would also bloat every lockset the analysis sees). *)
+type state = {
+  desc : int;
+  nbuckets : int;
+  locks : Machine.Spinlock.t array;
+  mutable retiring : bool;
+}
+
+type t = {
+  header : int;
+  rehash_lock : Machine.Mutex.t;
+  mutable state : state;
+}
+
+(* Fibonacci hashing with an avalanche finalizer: low bits must depend on
+   all key bits or sequential keys would never share a bucket. *)
+let hash key nbuckets =
+  let h = key lxor (key lsr 33) in
+  let h = h * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 29) in
+  h land max_int land (nbuckets - 1)
+
+let alloc_desc ctx nbuckets =
+  let d = S.alloc ctx ~align:64 (desc_header + (nbuckets * bucket_size)) in
+  S.store_i64 ctx __POS__ d (Int64.of_int nbuckets);
+  (* Buckets are zero on a fresh allocation; persist the descriptor head. *)
+  S.persist ctx __POS__ d 8;
+  d
+
+let bucket_addr desc i = desc + desc_header + (i * bucket_size)
+
+let mk_state ctx desc nbuckets =
+  { desc; nbuckets;
+    locks = Array.init nbuckets (fun _ -> Machine.Spinlock.create ~primitive ctx);
+    retiring = false }
+
+let create ctx =
+  let nbuckets = 64 in
+  let header = S.alloc ctx ~align:64 16 in
+  let desc = alloc_desc ctx nbuckets in
+  S.store_i64 ctx __POS__ header (Int64.of_int desc);
+  S.persist ctx __POS__ header 8;
+  { header; rehash_lock = Machine.Mutex.create ctx; state = mk_state ctx desc nbuckets }
+
+let load_root ctx t = Int64.to_int (S.load_i64 ctx root_load_pos t.header)
+
+let header_addr t = t.header
+
+let recover ctx ~header_addr =
+  let t =
+    { header = header_addr;
+      rehash_lock = Machine.Mutex.create ctx;
+      state = { desc = 0; nbuckets = 0; locks = [||]; retiring = false } }
+  in
+  let desc = load_root ctx t in
+  let nbuckets = Int64.to_int (S.load_i64 ctx __POS__ desc) in
+  t.state <- mk_state ctx desc nbuckets;
+  t
+
+let bucket_count t ctx =
+  let desc = load_root ctx t in
+  Int64.to_int (S.load_i64 ctx __POS__ desc)
+
+(* Writer-side bucket operations, under the bucket spinlock. *)
+
+let rec chain_find ctx b key =
+  (* Returns [`Found (bucket, slot)], [`Free (bucket, slot)] or
+     [`Full last_bucket]. *)
+  let rec scan i free =
+    if i >= slots then
+      let next = Int64.to_int (S.load_i64 ctx __POS__ (b + off_next)) in
+      if next <> 0 then
+        match chain_find ctx next key with
+        | `Full _ as r -> (match free with Some s -> `Free (b, s) | None -> r)
+        | r -> r
+      else begin
+        match free with Some s -> `Free (b, s) | None -> `Full b
+      end
+    else
+      let k = S.load_i64 ctx __POS__ (b + off_key i) in
+      if Int64.to_int k = key then `Found (b, i)
+      else if Int64.equal k 0L && free = None then scan (i + 1) (Some i)
+      else scan (i + 1) free
+  in
+  scan 0 None
+
+let chain_length ctx b =
+  let rec go b n =
+    if b = 0 || n > 16 then n
+    else go (Int64.to_int (S.load_i64 ctx __POS__ (b + off_next))) (n + 1)
+  in
+  go b 0
+
+let write_entry ctx b slot ~key ~value =
+  S.store_i64 ctx __POS__ (b + off_val slot) value;
+  S.store_i64 ctx __POS__ (b + off_key slot) (Int64.of_int key);
+  S.persist ctx __POS__ (b + off_key slot) 8;
+  S.persist ctx __POS__ (b + off_val slot) 8
+
+(* Insert into the table rooted at [desc]; caller holds the bucket lock. *)
+let bucket_insert ctx desc idx ~key ~value =
+  let b = bucket_addr desc idx in
+  match chain_find ctx b key with
+  | `Found (b', slot) ->
+      S.store_i64 ctx __POS__ (b' + off_val slot) value;
+      S.persist ctx __POS__ (b' + off_val slot) 8
+  | `Free (b', slot) -> write_entry ctx b' slot ~key ~value
+  | `Full last ->
+      let nb = S.alloc ctx ~align:64 bucket_size in
+      write_entry ctx nb 0 ~key ~value;
+      S.store_i64 ctx __POS__ (last + off_next) (Int64.of_int nb);
+      S.persist ctx __POS__ (last + off_next) 8
+
+(* Rehash: double the bucket count. Entries are re-inserted and persisted
+   into the new table before the root pointer is swapped; the swap itself
+   is persisted only AFTER the critical section (bug #4). *)
+let rehash t ctx =
+  Machine.Mutex.lock t.rehash_lock ctx __POS__;
+  let old_state = t.state in
+  (* CLHT's resize protocol: mark the generation as retiring, then drain
+     each bucket with a transient lock/unlock. A writer that acquired its
+     lock before the mark finishes before the drain passes its bucket; a
+     writer that acquires after the mark sees [retiring] and retries on
+     the next generation. One lock at a time keeps the rehash's locksets
+     small. *)
+  old_state.retiring <- true;
+  Array.iter
+    (fun lock ->
+      Machine.Spinlock.lock lock ctx __POS__;
+      Machine.Spinlock.unlock lock ctx __POS__)
+    old_state.locks;
+  let nbuckets = 2 * old_state.nbuckets in
+  let desc = alloc_desc ctx nbuckets in
+  for i = 0 to old_state.nbuckets - 1 do
+    let rec copy_chain b =
+      if b <> 0 then begin
+        for s = 0 to slots - 1 do
+          let k = S.load_i64 ctx rehash_scan_load_pos (b + off_key s) in
+          if not (Int64.equal k 0L) then begin
+            let v = S.load_i64 ctx rehash_scan_load_pos (b + off_val s) in
+            let key = Int64.to_int k in
+            bucket_insert ctx desc (hash key nbuckets) ~key ~value:v
+          end
+        done;
+        copy_chain
+          (Int64.to_int (S.load_i64 ctx rehash_scan_load_pos (b + off_next)))
+      end
+    in
+    copy_chain (bucket_addr old_state.desc i)
+  done;
+  (* Publish the new table: the volatile handle first (writers can start
+     using the new generation immediately), then the PM root pointer —
+     visible now, persisted too late. *)
+  t.state <- mk_state ctx desc nbuckets;
+  S.store_i64 ctx bug4_store_pos t.header (Int64.of_int desc);
+  Machine.Mutex.unlock t.rehash_lock ctx __POS__;
+  (* BUG #4: the root pointer's persist happens outside the lock. A crash
+     before this line strands every insert that already went into the new
+     table: durable data behind an unpersisted root. *)
+  S.persist ctx __POS__ t.header 8
+
+let rec with_bucket t ctx key f =
+  (* Snapshot the volatile state, lock the bucket, and confirm no rehash
+     invalidated the snapshot. The root load is the racy read of bug #4:
+     the inserting thread consults the possibly-unpersisted root. *)
+  let st = t.state in
+  let idx = hash key st.nbuckets in
+  Machine.Spinlock.lock st.locks.(idx) ctx __POS__;
+  ignore (load_root ctx t);
+  if t.state != st || st.retiring then begin
+    Machine.Spinlock.unlock st.locks.(idx) ctx __POS__;
+    S.yield ctx;
+    with_bucket t ctx key f
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> Machine.Spinlock.unlock st.locks.(idx) ctx __POS__)
+      (fun () -> f st.desc idx)
+
+let insert t ctx ~key ~value =
+  S.with_frame ctx "clht_insert" @@ fun () ->
+  let needs_rehash =
+    with_bucket t ctx key (fun desc idx ->
+        bucket_insert ctx desc idx ~key ~value;
+        chain_length ctx (bucket_addr desc idx) > 2)
+  in
+  if needs_rehash then rehash t ctx
+
+let update = insert
+
+let delete t ctx ~key =
+  S.with_frame ctx "clht_delete" @@ fun () ->
+  with_bucket t ctx key (fun desc idx ->
+      match chain_find ctx (bucket_addr desc idx) key with
+      | `Found (b, slot) ->
+          S.store_i64 ctx __POS__ (b + off_key slot) 0L;
+          S.persist ctx __POS__ (b + off_key slot) 8
+      | `Free _ | `Full _ -> ())
+
+let get t ctx ~key =
+  S.with_frame ctx "clht_get" @@ fun () ->
+  let desc = load_root ctx t in
+  let nbuckets = Int64.to_int (S.load_i64 ctx __POS__ desc) in
+  let rec scan_chain b =
+    if b = 0 then None
+    else
+      let rec scan i =
+        if i >= slots then
+          scan_chain (Int64.to_int (S.load_i64 ctx lf_next_load_pos (b + off_next)))
+        else if
+          Int64.to_int (S.load_i64 ctx lf_key_load_pos (b + off_key i)) = key
+        then Some (S.load_i64 ctx lf_val_load_pos (b + off_val i))
+        else scan (i + 1)
+      in
+      scan 0
+  in
+  scan_chain (bucket_addr desc (hash key nbuckets))

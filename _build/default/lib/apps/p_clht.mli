@@ -1,0 +1,27 @@
+(** P-CLHT: a PM cache-line hash table (RECIPE, SOSP'19).
+
+    Buckets are cache-line-sized (three key/value pairs plus an overflow
+    chain pointer). Insertions and updates synchronize on per-bucket
+    CAS-based locks — modelled as {!Machine.Spinlock} with the
+    ["clht_cas_lock"] primitive, which needs a sync-configuration entry
+    exactly like the paper had to wrap P-CLHT's CAS instructions (§5.5).
+    Rehashing takes a global pthread mutex; gets are lock-free.
+
+    Injected bug (Table 2 {b #4}, known): rehashing allocates a new table,
+    re-inserts and persists every entry, then swaps the root pointer — but
+    the root's persist happens only after the rehash lock is released.
+    A thread that inserts through the unpersisted root loses its durable
+    entry if the system crashes before the late persist. *)
+
+include App_intf.KV
+
+val bucket_count : t -> Machine.Sched.ctx -> int
+(** Current number of top-level buckets (doubles on rehash). *)
+
+val header_addr : t -> int
+
+val recover : Machine.Sched.ctx -> header_addr:int -> t
+(** Reopens the table from a (post-crash) heap: the root pointer read
+    from PM decides which table generation survived — bug #4's damage is
+    a crash landing on the OLD generation after inserts were acknowledged
+    into the new one. *)

@@ -1,0 +1,436 @@
+module S = Machine.Sched
+
+let name = "p-masstree"
+let leaf_slots = 14 (* permutation word: 4 count bits + 14 rank nibbles *)
+let inner_order = 8
+
+(* Border (leaf) node layout:
+     word 0: tag (1 = leaf, 2 = inner)
+     word 1: permutation (bits 0-3 count, bits 4+4i slot of rank i)
+     word 2: nslots (physical slots used; slots are append-only)
+     word 3 + 2i: key_i   word 4 + 2i: val_i *)
+let leaf_size = (3 + (2 * leaf_slots)) * 8
+let off_tag = 0
+let off_perm = 8
+let off_nslots = 16
+let off_key i = 24 + (16 * i)
+let off_val i = 32 + (16 * i)
+
+(* Inner node layout: word 0 tag, word 1 count, word 2+2i key_i,
+   word 3+2i child_i. Entry 0's key is a minimum sentinel. *)
+let inner_size = (2 + (2 * inner_order)) * 8
+let off_count = 8
+let off_ikey i = 16 + (16 * i)
+let off_child i = 24 + (16 * i)
+let leaf_tag = 1L
+let inner_tag = 2L
+
+type t = { meta : int; lock : Machine.Mutex.t }
+
+(* ---- permutation word helpers (pure arithmetic) ---- *)
+
+let perm_count p = p land 0xF
+let perm_slot p rank = (p lsr (4 + (4 * rank))) land 0xF
+
+let perm_insert p rank slot =
+  let c = perm_count p in
+  let low_mask = (1 lsl (4 + (4 * rank))) - 1 in
+  let low = p land low_mask land lnot 0xF in
+  let high = p land lnot low_mask in
+  ((high lsl 4) lor (slot lsl (4 + (4 * rank))) lor low lor (c + 1))
+  land max_int
+
+let perm_remove p rank =
+  let c = perm_count p in
+  let rec rebuild r acc =
+    if r >= c then acc
+    else if r = rank then rebuild (r + 1) acc
+    else
+      let dst = if r < rank then r else r - 1 in
+      rebuild (r + 1) (acc lor (perm_slot p r lsl (4 + (4 * dst))))
+  in
+  rebuild 0 (c - 1)
+
+(* ---- named sites ---- *)
+
+(* Bug #5: the entry stores of a plain insert; their persist is deferred
+   past the critical section while the permutation is already durable. *)
+let bug5_key_store_pos = __POS__
+let bug5_val_store_pos = __POS__
+
+(* Bug #6: the entry stores that populate the right replacement leaf
+   during a split; also persisted too late. *)
+let bug6_key_store_pos = __POS__
+let bug6_val_store_pos = __POS__
+
+(* Bug #7: the permutation store that hides a deleted key; persisted
+   after the critical section. *)
+let bug7_store_pos = __POS__
+
+(* Loads that can observe the racy data. *)
+let lf_val_load_pos = __POS__ (* lock-free get's value read (bugs #5/#6) *)
+let lf_key_load_pos = __POS__
+let lf_perm_load_pos = __POS__ (* lock-free get's permutation read (bug #7) *)
+let wr_kv_load_pos = __POS__ (* writer-side entry reads (scans, splits) *)
+let wr_perm_load_pos = __POS__
+
+(* Benign-only lock-free descend loads. *)
+let lf_tag_load_pos = __POS__
+let lf_inner_load_pos = __POS__
+let lf_root_load_pos = __POS__
+
+let bugs =
+  let l = Ground_truth.loc in
+  [
+    {
+      Ground_truth.gt_id = 5;
+      gt_new = false;
+      gt_desc = "load unpersisted value";
+      gt_store_locs = [ l bug5_key_store_pos; l bug5_val_store_pos ];
+      gt_load_locs =
+        [ l lf_val_load_pos; l lf_key_load_pos; l wr_kv_load_pos ];
+    };
+    {
+      Ground_truth.gt_id = 6;
+      gt_new = false;
+      gt_desc = "load unpersisted value";
+      gt_store_locs = [ l bug6_key_store_pos; l bug6_val_store_pos ];
+      gt_load_locs =
+        [ l lf_val_load_pos; l lf_key_load_pos; l wr_kv_load_pos ];
+    };
+    {
+      Ground_truth.gt_id = 7;
+      gt_new = false;
+      gt_desc = "unpersisted removal";
+      gt_store_locs = [ l bug7_store_pos ];
+      gt_load_locs = [ l lf_perm_load_pos; l wr_perm_load_pos ];
+    };
+  ]
+
+let benign =
+  List.map
+    (fun pos -> Ground_truth.Load_at (Ground_truth.loc pos))
+    [
+      lf_val_load_pos; lf_key_load_pos; lf_perm_load_pos; lf_tag_load_pos;
+      lf_inner_load_pos; lf_root_load_pos;
+    ]
+
+let sync_config = Machine.Sync_config.builtin
+
+(* ---- node construction ---- *)
+
+let alloc_leaf ctx =
+  let n = S.alloc ctx ~align:64 leaf_size in
+  S.store_i64 ctx __POS__ (n + off_tag) leaf_tag;
+  S.store_i64 ctx __POS__ (n + off_perm) 0L;
+  S.store_i64 ctx __POS__ (n + off_nslots) 0L;
+  n
+
+let alloc_inner ctx =
+  let n = S.alloc ctx ~align:64 inner_size in
+  S.store_i64 ctx __POS__ (n + off_tag) inner_tag;
+  S.store_i64 ctx __POS__ (n + off_count) 0L;
+  n
+
+let create ctx =
+  let meta = S.alloc ctx ~align:64 16 in
+  let root = alloc_leaf ctx in
+  S.persist ctx __POS__ root leaf_size;
+  S.store_i64 ctx __POS__ meta (Int64.of_int root);
+  S.persist ctx __POS__ meta 8;
+  { meta; lock = Machine.Mutex.create ctx }
+
+let root ctx t = Int64.to_int (S.load_i64 ctx __POS__ (t.meta + 0))
+let meta_addr t = t.meta
+
+let recover ctx ~meta_addr =
+  { meta = meta_addr; lock = Machine.Mutex.create ctx }
+let is_leaf ctx n = Int64.equal (S.load_i64 ctx __POS__ (n + off_tag)) leaf_tag
+
+(* ---- writer-side helpers (under the tree lock) ---- *)
+
+let icount ctx n = Int64.to_int (S.load_i64 ctx __POS__ (n + off_count))
+let ikey ctx n i = S.load_i64 ctx __POS__ (n + off_ikey i)
+let ichild ctx n i = Int64.to_int (S.load_i64 ctx __POS__ (n + off_child i))
+let perm ctx n = Int64.to_int (S.load_i64 ctx wr_perm_load_pos (n + off_perm))
+let nslots ctx n = Int64.to_int (S.load_i64 ctx __POS__ (n + off_nslots))
+let kv_key ctx n i = S.load_i64 ctx wr_kv_load_pos (n + off_key i)
+let kv_val ctx n i = S.load_i64 ctx wr_kv_load_pos (n + off_val i)
+
+let child_for ctx n key =
+  let c = icount ctx n in
+  let rec go i best =
+    if i >= c then best
+    else if ikey ctx n i <= key then go (i + 1) i
+    else best
+  in
+  ichild ctx n (go 1 0)
+
+(* Rank of [key] in the leaf's sorted view, or the insertion rank. *)
+let leaf_rank ctx n key =
+  let p = perm ctx n in
+  let c = perm_count p in
+  let rec go r =
+    if r >= c then `Insert_at r
+    else
+      let k = kv_key ctx n (perm_slot p r) in
+      if Int64.equal k key then `Found r
+      else if k > key then `Insert_at r
+      else go (r + 1)
+  in
+  go 0
+
+(* Insert into a non-full leaf. Returns the deferred persists: the entry
+   words are persisted only after the critical section (bug #5). *)
+let leaf_insert ctx n key value ~kv_pos ~deferred =
+  let p = perm ctx n in
+  match leaf_rank ctx n key with
+  | `Found r ->
+      let slot = perm_slot p r in
+      S.store_i64 ctx bug5_val_store_pos (n + off_val slot) value;
+      deferred := (n + off_val slot, 8) :: !deferred
+  | `Insert_at r ->
+      let slot = nslots ctx n in
+      let kpos, vpos = kv_pos in
+      S.store_i64 ctx kpos (n + off_key slot) key;
+      S.store_i64 ctx vpos (n + off_val slot) value;
+      S.store_i64 ctx __POS__ (n + off_nslots) (Int64.of_int (slot + 1));
+      let p' = perm_insert p r slot in
+      S.store_i64 ctx __POS__ (n + off_perm) (Int64.of_int p');
+      (* The permutation — the publication — is durable immediately; the
+         entry itself is not (bug #5/#6). *)
+      S.persist ctx __POS__ (n + off_perm) 16;
+      deferred := (n + off_key slot, 16) :: !deferred
+
+let leaf_full ctx n =
+  perm_count (perm ctx n) >= leaf_slots || nslots ctx n >= leaf_slots
+
+(* Split a full leaf into two fresh, compacted leaves. The left one is
+   persisted here; the right one's entries are persisted by the caller
+   after the critical section (bug #6). *)
+let split_leaf ctx n ~deferred =
+  let p = perm ctx n in
+  let c = perm_count p in
+  let half = c / 2 in
+  let left = alloc_leaf ctx and right = alloc_leaf ctx in
+  let fill dst ~kv_pos first last =
+    let kpos, vpos = kv_pos in
+    let pm = ref 0 in
+    for r = first to last do
+      let slot = r - first in
+      S.store_i64 ctx kpos (dst + off_key slot) (kv_key ctx n (perm_slot p r));
+      S.store_i64 ctx vpos (dst + off_val slot) (kv_val ctx n (perm_slot p r));
+      pm := perm_insert !pm slot slot
+    done;
+    S.store_i64 ctx __POS__ (dst + off_perm) (Int64.of_int !pm);
+    S.store_i64 ctx __POS__ (dst + off_nslots) (Int64.of_int (last - first + 1))
+  in
+  fill left ~kv_pos:(__POS__, __POS__) 0 (half - 1);
+  S.persist ctx __POS__ left leaf_size;
+  fill right ~kv_pos:(bug6_key_store_pos, bug6_val_store_pos) half (c - 1);
+  (* BUG #6: only the right leaf's header and permutation are flushed —
+     the copied entries are never explicitly persisted, so readers act on
+     values that a crash can erase while the permutation survives. *)
+  S.persist ctx __POS__ (right + off_tag) 24;
+  ignore deferred;
+  let median = kv_key ctx n (perm_slot p half) in
+  (left, median, right)
+
+let inner_insert_at ctx n key child =
+  let c = icount ctx n in
+  let rec slot i = if i >= c then c else if ikey ctx n i > key then i else slot (i + 1) in
+  let s = slot 0 in
+  for j = c - 1 downto s do
+    S.store_i64 ctx __POS__ (n + off_ikey (j + 1)) (ikey ctx n j);
+    S.store_i64 ctx __POS__ (n + off_child (j + 1))
+      (Int64.of_int (ichild ctx n j))
+  done;
+  S.store_i64 ctx __POS__ (n + off_ikey s) key;
+  S.store_i64 ctx __POS__ (n + off_child s) (Int64.of_int child);
+  S.store_i64 ctx __POS__ (n + off_count) (Int64.of_int (c + 1));
+  S.persist ctx __POS__ n inner_size
+
+let split_inner ctx n =
+  let c = icount ctx n in
+  let half = c / 2 in
+  let sib = alloc_inner ctx in
+  for j = half to c - 1 do
+    S.store_i64 ctx __POS__ (sib + off_ikey (j - half)) (ikey ctx n j);
+    S.store_i64 ctx __POS__ (sib + off_child (j - half))
+      (Int64.of_int (ichild ctx n j))
+  done;
+  S.store_i64 ctx __POS__ (sib + off_count) (Int64.of_int (c - half));
+  S.persist ctx __POS__ sib inner_size;
+  S.store_i64 ctx __POS__ (n + off_count) (Int64.of_int half);
+  S.persist ctx __POS__ (n + off_count) 8;
+  (ikey ctx sib 0, sib)
+
+let replace_child ctx n old_child left =
+  let c = icount ctx n in
+  let rec go i =
+    if i >= c then ()
+    else if ichild ctx n i = old_child then begin
+      S.store_i64 ctx __POS__ (n + off_child i) (Int64.of_int left);
+      S.persist ctx __POS__ (n + off_child i) 8
+    end
+    else go (i + 1)
+  in
+  go 0
+
+(* Returns [Some (replacement, promoted_key, promoted_node)] when this
+   subtree's node was replaced/split. *)
+let rec insert_rec ctx n key value ~deferred =
+  if is_leaf ctx n then
+    if not (leaf_full ctx n) then begin
+      leaf_insert ctx n key value
+        ~kv_pos:(bug5_key_store_pos, bug5_val_store_pos)
+        ~deferred;
+      None
+    end
+    else begin
+      let left, median, right = split_leaf ctx n ~deferred in
+      let target = if key >= median then right else left in
+      leaf_insert ctx target key value
+        ~kv_pos:(bug5_key_store_pos, bug5_val_store_pos)
+        ~deferred;
+      Some (left, median, right)
+    end
+  else begin
+    let child = child_for ctx n key in
+    match insert_rec ctx child key value ~deferred with
+    | None -> None
+    | Some (left, median, right) ->
+        replace_child ctx n child left;
+        if icount ctx n < inner_order then begin
+          inner_insert_at ctx n median right;
+          None
+        end
+        else begin
+          let up_median, sib = split_inner ctx n in
+          let target = if median >= up_median then sib else n in
+          inner_insert_at ctx target median right;
+          Some (n, up_median, sib)
+        end
+  end
+
+let insert t ctx ~key ~value =
+  S.with_frame ctx "mt_insert" @@ fun () ->
+  let deferred = ref [] in
+  Machine.Mutex.lock t.lock ctx __POS__;
+  let r = root ctx t in
+  (match insert_rec ctx r (Int64.of_int key) value ~deferred with
+  | None -> ()
+  | Some (left, median, right) ->
+      let new_root = alloc_inner ctx in
+      S.store_i64 ctx __POS__ (new_root + off_ikey 0) Int64.min_int;
+      S.store_i64 ctx __POS__ (new_root + off_child 0) (Int64.of_int left);
+      S.store_i64 ctx __POS__ (new_root + off_ikey 1) median;
+      S.store_i64 ctx __POS__ (new_root + off_child 1) (Int64.of_int right);
+      S.store_i64 ctx __POS__ (new_root + off_count) 2L;
+      S.persist ctx __POS__ new_root inner_size;
+      S.store_i64 ctx __POS__ t.meta (Int64.of_int new_root);
+      S.persist ctx __POS__ t.meta 8);
+  Machine.Mutex.unlock t.lock ctx __POS__;
+  (* BUGS #5/#6: entry persists happen only here, after unlock. *)
+  List.iter (fun (addr, size) -> S.persist ctx __POS__ addr size) !deferred
+
+let update = insert
+
+let rec find_leaf ctx n key =
+  if is_leaf ctx n then n else find_leaf ctx (child_for ctx n key) key
+
+let delete t ctx ~key =
+  S.with_frame ctx "mt_delete" @@ fun () ->
+  let deferred = ref [] in
+  Machine.Mutex.lock t.lock ctx __POS__;
+  let leaf = find_leaf ctx (root ctx t) (Int64.of_int key) in
+  (match leaf_rank ctx leaf (Int64.of_int key) with
+  | `Found r ->
+      let p' = perm_remove (perm ctx leaf) r in
+      S.store_i64 ctx bug7_store_pos (leaf + off_perm) (Int64.of_int p');
+      deferred := [ (leaf + off_perm, 8) ]
+  | `Insert_at _ -> ());
+  Machine.Mutex.unlock t.lock ctx __POS__;
+  (* BUG #7: the removal's permutation store persists after unlock. *)
+  List.iter (fun (addr, size) -> S.persist ctx __POS__ addr size) !deferred
+
+(* ---- lock-free read side ---- *)
+
+let get t ctx ~key =
+  S.with_frame ctx "mt_get" @@ fun () ->
+  let k64 = Int64.of_int key in
+  let rec descend n =
+    if Int64.equal (S.load_i64 ctx lf_tag_load_pos (n + off_tag)) leaf_tag then n
+    else begin
+      let c =
+        let c = Int64.to_int (S.load_i64 ctx lf_inner_load_pos (n + off_count)) in
+        min (max c 1) inner_order
+      in
+      let rec pick i best =
+        if i >= c then best
+        else if S.load_i64 ctx lf_inner_load_pos (n + off_ikey i) <= k64 then
+          pick (i + 1) i
+        else best
+      in
+      let child =
+        Int64.to_int (S.load_i64 ctx lf_inner_load_pos (n + off_child (pick 1 0)))
+      in
+      if child = 0 then n else descend child
+    end
+  in
+  let leaf =
+    descend (Int64.to_int (S.load_i64 ctx lf_root_load_pos (t.meta + 0)))
+  in
+  let p = Int64.to_int (S.load_i64 ctx lf_perm_load_pos (leaf + off_perm)) in
+  let c = min (perm_count p) leaf_slots in
+  let rec scan r =
+    if r >= c then None
+    else
+      let slot = perm_slot p r in
+      if Int64.equal (S.load_i64 ctx lf_key_load_pos (leaf + off_key slot)) k64
+      then Some (S.load_i64 ctx lf_val_load_pos (leaf + off_val slot))
+      else scan (r + 1)
+  in
+  scan 0
+
+let scan t ctx ~lo ~hi =
+  S.with_frame ctx "mt_scan" @@ fun () ->
+  Machine.Mutex.with_lock t.lock ctx __POS__ @@ fun () ->
+  let lo64 = Int64.of_int lo and hi64 = Int64.of_int hi in
+  let out = ref [] in
+  let rec walk n =
+    if is_leaf ctx n then begin
+      let p = perm ctx n in
+      for r = perm_count p - 1 downto 0 do
+        let slot = perm_slot p r in
+        let k = kv_key ctx n slot in
+        if k >= lo64 && k <= hi64 then
+          out := (Int64.to_int k, kv_val ctx n slot) :: !out
+      done
+    end
+    else begin
+      (* Visit children whose key range can intersect [lo, hi]. *)
+      let c = icount ctx n in
+      for i = c - 1 downto 0 do
+        let child_min = ikey ctx n i in
+        let child_max = if i + 1 < c then ikey ctx n (i + 1) else Int64.max_int in
+        if child_min <= hi64 && child_max >= lo64 then walk (ichild ctx n i)
+      done
+    end
+  in
+  walk (root ctx t);
+  List.sort compare !out
+
+let leaf_count t ctx =
+  let rec go n =
+    if is_leaf ctx n then 1
+    else begin
+      let c = icount ctx n in
+      let total = ref 0 in
+      for i = 0 to c - 1 do
+        total := !total + go (ichild ctx n i)
+      done;
+      !total
+    end
+  in
+  go (root ctx t)

@@ -1,0 +1,36 @@
+(** P-Masstree: a PM B+-trie with permutation-based border nodes
+    (RECIPE, SOSP'19; the Durinn-provided variant of §5).
+
+    Border (leaf) nodes hold up to 15 entries in {e append-only} physical
+    slots; the logical, sorted view lives in a single packed permutation
+    word, updated with one atomic store — Masstree's signature mechanism.
+    Writes take the tree lock; gets are lock-free (Table 1: Lock /
+    Lock-Free).
+
+    Injected bugs (Table 2, believed to match Durinn's reports):
+    - {b Bug #5}: insert stores the entry, publishes it through the
+      permutation word and persists the permutation — but the entry's own
+      persist is deferred until after the critical section. A lock-free
+      get returns a value whose durability is not guaranteed, and a crash
+      leaves a durable permutation pointing at garbage.
+    - {b Bug #6}: the same deferred entry persist on the leaf-split path:
+      the two replacement leaves are published before the right one's
+      entries are durable.
+    - {b Bug #7}: delete updates the permutation word (hiding the key)
+      but persists it only after the critical section: a get's "not
+      found" side effect can survive a crash that resurrects the key
+      ("unpersisted removal"). *)
+
+include App_intf.KV
+
+val leaf_count : t -> Machine.Sched.ctx -> int
+(** Number of border nodes (testing aid). *)
+
+val meta_addr : t -> int
+val recover : Machine.Sched.ctx -> meta_addr:int -> t
+
+val scan : t -> Machine.Sched.ctx -> lo:int -> hi:int -> (int * int64) list
+(** Masstree's scan operation — performed under the tree lock like its
+    puts and deletes (§5: "performs put, scan and delete operations using
+    locks while get operations are lock-free"). In-order over [lo, hi]
+    inclusive. *)

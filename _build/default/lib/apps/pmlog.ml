@@ -1,0 +1,76 @@
+module S = Machine.Sched
+
+let name = "pmlog"
+let capacity = 1 lsl 16
+
+(* Layout: word 0 = entry count; entries follow, 3 words each:
+   (key, value, op) with op 1 = put, 2 = delete. Reads scan the log
+   backwards for the newest entry of a key; a volatile index would be the
+   obvious optimization but the point here is PM correctness, not speed —
+   so a small volatile cache fronts the log and is rebuilt on recovery. *)
+type t = {
+  base : int;
+  lock : Machine.Rwlock.t;
+  index : (int, int option) Hashtbl.t;
+      (* volatile: key -> position of its newest entry (None = deleted) *)
+}
+
+let off_count = 0
+let off_key i = 8 + (24 * i)
+let off_val i = 16 + (24 * i)
+let off_op i = 24 + (24 * i)
+
+let bugs = []
+let benign = []
+let sync_config = Machine.Sync_config.builtin
+
+let create ctx =
+  let base = S.alloc ctx ~align:64 (8 + (24 * capacity)) in
+  (* The fresh region is durable zeros: count = 0 needs no persist. *)
+  { base; lock = Machine.Rwlock.create ctx; index = Hashtbl.create 1024 }
+
+let base_addr t = t.base
+
+let recover ctx ~base =
+  let t =
+    { base; lock = Machine.Rwlock.create ctx; index = Hashtbl.create 1024 }
+  in
+  let n = Int64.to_int (S.load_i64 ctx __POS__ (t.base + off_count)) in
+  for i = 0 to min n capacity - 1 do
+    let key = Int64.to_int (S.load_i64 ctx __POS__ (t.base + off_key i)) in
+    let op = S.load_i64 ctx __POS__ (t.base + off_op i) in
+    Hashtbl.replace t.index key (if Int64.equal op 1L then Some i else None)
+  done;
+  t
+
+let entries t ctx =
+  Machine.Rwlock.with_read t.lock ctx __POS__ @@ fun () ->
+  Int64.to_int (S.load_i64 ctx __POS__ (t.base + off_count))
+
+let append t ctx ~key ~value ~op =
+  Machine.Rwlock.with_write t.lock ctx __POS__ @@ fun () ->
+  let n = Int64.to_int (S.load_i64 ctx __POS__ (t.base + off_count)) in
+  if n >= capacity then failwith "pmlog: log full";
+  (* Entry first, fully persisted, THEN the count that publishes it —
+     both inside the exclusive section. *)
+  S.store_i64 ctx __POS__ (t.base + off_key n) (Int64.of_int key);
+  S.store_i64 ctx __POS__ (t.base + off_val n) value;
+  S.store_i64 ctx __POS__ (t.base + off_op n) op;
+  S.persist ctx __POS__ (t.base + off_key n) 24;
+  S.store_i64 ctx __POS__ (t.base + off_count) (Int64.of_int (n + 1));
+  S.persist ctx __POS__ (t.base + off_count) 8;
+  Hashtbl.replace t.index key (if Int64.equal op 1L then Some n else None)
+
+let insert t ctx ~key ~value = append t ctx ~key ~value ~op:1L
+let update = insert
+let delete t ctx ~key = append t ctx ~key ~value:0L ~op:2L
+
+let get t ctx ~key =
+  Machine.Rwlock.with_read t.lock ctx __POS__ @@ fun () ->
+  match Hashtbl.find_opt t.index key with
+  | Some (Some pos) ->
+      (* Read the PM entry under the shared lock and validate the key. *)
+      if Int64.to_int (S.load_i64 ctx __POS__ (t.base + off_key pos)) = key
+      then Some (S.load_i64 ctx __POS__ (t.base + off_val pos))
+      else None
+  | Some None | None -> None

@@ -1,0 +1,25 @@
+(** Pmlog: a deliberately {e correct} PM key-value store.
+
+    The control group for the detector: a log-structured store whose
+    every persist happens inside the critical section that made the data
+    visible, guarded by a reader-writer lock (writers exclusive, reads
+    shared). Structures are fully persisted before publication.
+
+    HawkSet must report {e nothing} on it — `test_apps.ml` pins that down
+    — demonstrating that the analysis's reports on the nine target
+    applications are properties of those applications, not noise the tool
+    produces on any concurrent PM program. Not part of the paper's Table 1
+    registry; it exists for validation. *)
+
+include App_intf.KV
+
+val entries : t -> Machine.Sched.ctx -> int
+(** Log length (live + superseded entries). *)
+
+val base_addr : t -> int
+
+val recover : Machine.Sched.ctx -> base:int -> t
+(** Rebuilds the volatile index by replaying the persisted log prefix.
+    Because every append persists its entry before committing the count,
+    recovery sees exactly the acknowledged operations — the
+    crash-consistency property the qcheck test pins down. *)

@@ -1,0 +1,124 @@
+module S = Machine.Sched
+
+type entry = {
+  reg_name : string;
+  run :
+    ?seed:int ->
+    ?policy:Machine.Sched.policy ->
+    ?observe:bool ->
+    ops:int ->
+    unit ->
+    Machine.Sched.report;
+  bugs : Ground_truth.bug list;
+  benign : Ground_truth.benign_rule list;
+  max_ops : int option;
+  sync_method : string;
+  needs_sync_config : bool;
+}
+
+let kv_entry (module App : App_intf.KV) ?max_ops ~sync_method
+    ~needs_sync_config () =
+  {
+    reg_name = App.name;
+    run =
+      (fun ?seed ?policy ?observe ~ops () ->
+        Driver.run_kv_ycsb (module App) ?seed ?policy ?observe ~ops ());
+    bugs = App.bugs;
+    benign = App.benign;
+    max_ops;
+    sync_method;
+    needs_sync_config;
+  }
+
+let apply_mc t ctx op =
+  match op with
+  | Workload.Op.Mc_set (key, value) -> Memcached.set t ctx ~key ~value
+  | Workload.Op.Mc_get key -> ignore (Memcached.get t ctx ~key)
+  | Workload.Op.Mc_add (key, value) -> ignore (Memcached.add t ctx ~key ~value)
+  | Workload.Op.Mc_replace (key, value) ->
+      ignore (Memcached.replace t ctx ~key ~value)
+  | Workload.Op.Mc_append (key, value) ->
+      ignore (Memcached.append t ctx ~key ~value)
+  | Workload.Op.Mc_prepend (key, value) ->
+      ignore (Memcached.prepend t ctx ~key ~value)
+  | Workload.Op.Mc_cas (key, expected, desired) ->
+      ignore (Memcached.cas_op t ctx ~key ~expected ~desired)
+  | Workload.Op.Mc_delete key -> Memcached.delete t ctx ~key
+  | Workload.Op.Mc_incr key -> Memcached.incr t ctx ~key
+  | Workload.Op.Mc_decr key -> Memcached.decr t ctx ~key
+
+let run_memcached ?(seed = 0) ?policy ?observe ~ops () =
+  let heap = Pmem.Heap.create ~size:(128 * 1024 * 1024) () in
+  let per_thread = Workload.Ycsb.memcached_mix ~seed ~ops ~threads:8 in
+  S.run ~seed ?policy ?observe ~sync_config:Memcached.sync_config ~heap
+    (fun ctx ->
+      let t = Memcached.create ctx in
+      let workers =
+        Array.to_list
+          (Array.map
+             (fun ops -> S.spawn ctx (fun ctx' -> List.iter (apply_mc t ctx') ops))
+             per_thread)
+      in
+      List.iter (S.join ctx) workers)
+
+let run_madfs ?(seed = 0) ?policy ?observe ~ops () =
+  let heap = Pmem.Heap.create ~size:(256 * 1024 * 1024) () in
+  let blocks = 64 in
+  let per_thread = Workload.Ycsb.madfs_mix ~seed ~ops ~threads:8 ~file_blocks:blocks in
+  S.run ~seed ?policy ?observe ~sync_config:Madfs.sync_config ~heap (fun ctx ->
+      let t = Madfs.create ctx ~blocks in
+      let payload = Bytes.make Madfs.block_size 'w' in
+      let workers =
+        Array.to_list
+          (Array.map
+             (fun ops ->
+               S.spawn ctx (fun ctx' ->
+                   List.iter
+                     (fun op ->
+                       match op with
+                       | Workload.Op.Fs_write (offset, _) ->
+                           Madfs.write t ctx' ~offset ~data:payload
+                       | Workload.Op.Fs_read (offset, _) ->
+                           ignore (Madfs.read t ctx' ~offset))
+                     ops))
+             per_thread)
+      in
+      List.iter (S.join ctx) workers)
+
+let all =
+  [
+    kv_entry (module Fast_fair) ~sync_method:"Lock/Lock-Free"
+      ~needs_sync_config:false ();
+    kv_entry (module Turbo_hash) ~sync_method:"Lock/Lock-Free"
+      ~needs_sync_config:true ();
+    kv_entry (module P_clht) ~sync_method:"Lock" ~needs_sync_config:true ();
+    kv_entry (module P_masstree) ~sync_method:"Lock/Lock-Free"
+      ~needs_sync_config:false ();
+    kv_entry (module P_art) ~max_ops:1000 ~sync_method:"Lock/Lock-Free"
+      ~needs_sync_config:true ();
+    {
+      reg_name = Madfs.name;
+      run = run_madfs;
+      bugs = Madfs.bugs;
+      benign = Madfs.benign;
+      max_ops = None;
+      sync_method = "Lock-Free";
+      needs_sync_config = false;
+    };
+    {
+      reg_name = Memcached.name;
+      run = run_memcached;
+      bugs = Memcached.bugs;
+      benign = Memcached.benign;
+      max_ops = None;
+      sync_method = "Lock-Free";
+      needs_sync_config = false;
+    };
+    kv_entry (module Wipe) ~sync_method:"Lock" ~needs_sync_config:false ();
+    kv_entry (module Apex) ~sync_method:"Lock" ~needs_sync_config:true ();
+  ]
+
+let find name = List.find_opt (fun e -> String.equal e.reg_name name) all
+
+let clamp_ops e ops =
+  match e.max_ops with Some cap -> min cap ops | None -> ops

@@ -1,0 +1,208 @@
+module S = Machine.Sched
+
+let name = "turbo-hash"
+let nbuckets = 8192
+let slots = 7
+
+(* Bucket layout (two cache lines, 128 bytes):
+     line 0: word 0 = presence bitmap; words 1-6 = entries 0-2 (k,v)
+     line 1: words 8-15 = entries 3-6 (k,v)
+   Entry i's key is at word 1+2i for i<3 and 8+2(i-3) for i>=3. *)
+let bucket_size = 2 * Pmem.Layout.line_size
+
+let off_key i = if i < 3 then 8 * (1 + (2 * i)) else 8 * (8 + (2 * (i - 3)))
+let off_val i = off_key i + 8
+let off_meta = 0
+
+type t = { table : int; locks : Machine.Spinlock.t array }
+
+(* ---- named sites ---- *)
+
+(* Bug #3: the entry stores; slots >= 3 land on the bucket's second cache
+   line, which the insert's flush never covers. *)
+let bug3_key_store_pos = __POS__
+let bug3_val_store_pos = __POS__
+
+(* Locked scan loads that can observe the unpersisted entries. *)
+let scan_key_load_pos = __POS__
+let scan_val_load_pos = __POS__
+
+(* Lock-free bitmap probe (benign). *)
+let lf_meta_load_pos = __POS__
+
+(* Bitmap store (persisted correctly; benign vs the lock-free probe). *)
+let meta_store_pos = __POS__
+
+let bugs =
+  [
+    {
+      Ground_truth.gt_id = 3;
+      gt_new = true;
+      gt_desc = "load unpersisted value";
+      gt_store_locs =
+        [ Ground_truth.loc bug3_key_store_pos;
+          Ground_truth.loc bug3_val_store_pos ];
+      gt_load_locs =
+        [ Ground_truth.loc scan_key_load_pos;
+          Ground_truth.loc scan_val_load_pos ];
+    };
+  ]
+
+let benign = [ Ground_truth.Load_at (Ground_truth.loc lf_meta_load_pos) ]
+let primitive = "turbo_lock"
+let sync_config = Machine.Sync_config.register Machine.Sync_config.builtin primitive
+
+let bucket_addr t i = t.table + (i * bucket_size)
+(* Avalanche finalizer: the bucket index must depend on all key bits. *)
+let hash key =
+  let h = key lxor (key lsr 33) in
+  let h = h * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 29) in
+  h land max_int land (nbuckets - 1)
+
+let create ctx =
+  (* A fresh PM region is zero-filled and already durable: empty bitmaps
+     need no explicit persist. *)
+  let table = S.alloc ctx ~align:64 (nbuckets * bucket_size) in
+  { table;
+    locks = Array.init nbuckets (fun _ -> Machine.Spinlock.create ~primitive ctx) }
+
+let meta ctx b = S.load_i64 ctx __POS__ (b + off_meta)
+let lf_meta ctx b = S.load_i64 ctx lf_meta_load_pos (b + off_meta)
+
+let slot_used m i = Int64.logand m (Int64.shift_left 1L i) <> 0L
+
+(* Under the bucket lock: the slot holding [key], if any. *)
+let find_slot ctx b key =
+  let m = meta ctx b in
+  let rec go i =
+    if i >= slots then None
+    else if
+      slot_used m i
+      && Int64.to_int (S.load_i64 ctx scan_key_load_pos (b + off_key i)) = key
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let free_slot ctx b =
+  let m = meta ctx b in
+  let rec go i =
+    if i >= slots then None else if slot_used m i then go (i + 1) else Some i
+  in
+  go 0
+
+(* BUG #3: only the first cache line of the bucket is flushed, so entries
+   in slots >= 3 (second line) are left unpersisted while their bitmap bit
+   is durable. *)
+let persist_first_line_only ctx b =
+  S.flush_line ctx __POS__ b;
+  S.fence ctx __POS__
+
+let write_entry ctx b i ~key ~value =
+  S.store_i64 ctx bug3_key_store_pos (b + off_key i) (Int64.of_int key);
+  S.store_i64 ctx bug3_val_store_pos (b + off_val i) value;
+  let m = Int64.logor (meta ctx b) (Int64.shift_left 1L i) in
+  S.store_i64 ctx meta_store_pos (b + off_meta) m;
+  persist_first_line_only ctx b
+
+let with_bucket t ctx idx f =
+  Machine.Spinlock.with_lock t.locks.(idx) ctx __POS__ f
+
+(* Linear probing over at most 8 buckets. *)
+let rec probe t ctx key idx tries f =
+  if tries >= 8 then None
+  else
+    match with_bucket t ctx idx (fun () -> f (bucket_addr t idx)) with
+    | Some r -> Some r
+    | None -> probe t ctx key ((idx + 1) land (nbuckets - 1)) (tries + 1) f
+
+let insert t ctx ~key ~value =
+  S.with_frame ctx "turbo_insert" @@ fun () ->
+  ignore
+    (probe t ctx key (hash key) 0 (fun b ->
+         match find_slot ctx b key with
+         | Some i ->
+             (* Out-of-place update: write the value, re-flush line 0 only
+                (same bug when i >= 3). *)
+             S.store_i64 ctx bug3_val_store_pos (b + off_val i) value;
+             persist_first_line_only ctx b;
+             Some ()
+         | None -> (
+             match free_slot ctx b with
+             | Some i ->
+                 write_entry ctx b i ~key ~value;
+                 Some ()
+             | None -> None)))
+
+let update = insert
+
+let get t ctx ~key =
+  S.with_frame ctx "turbo_get" @@ fun () ->
+  let rec go idx tries =
+    if tries >= 8 then None
+    else begin
+      let b = bucket_addr t idx in
+      (* Lock-free fast path: skip empty buckets via the bitmap. *)
+      if Int64.equal (lf_meta ctx b) 0L then
+        go ((idx + 1) land (nbuckets - 1)) (tries + 1)
+      else
+        match
+          with_bucket t ctx idx (fun () ->
+              match find_slot ctx b key with
+              | Some i -> Some (S.load_i64 ctx scan_val_load_pos (b + off_val i))
+              | None -> None)
+        with
+        | Some v -> Some v
+        | None -> go ((idx + 1) land (nbuckets - 1)) (tries + 1)
+    end
+  in
+  go (hash key) 0
+
+let delete t ctx ~key =
+  S.with_frame ctx "turbo_delete" @@ fun () ->
+  ignore
+    (probe t ctx key (hash key) 0 (fun b ->
+         match find_slot ctx b key with
+         | Some i ->
+             let m =
+               Int64.logand (meta ctx b)
+                 (Int64.lognot (Int64.shift_left 1L i))
+             in
+             S.store_i64 ctx meta_store_pos (b + off_meta) m;
+             persist_first_line_only ctx b;
+             Some ()
+         | None -> None))
+
+let table_addr t = t.table
+
+let recover ctx ~table_addr =
+  { table = table_addr;
+    locks = Array.init nbuckets (fun _ -> Machine.Spinlock.create ~primitive ctx) }
+
+let check_consistency t ctx =
+  let damage = ref [] in
+  for idx = 0 to nbuckets - 1 do
+    let b = bucket_addr t idx in
+    let m = meta ctx b in
+    for i = 0 to slots - 1 do
+      if slot_used m i && Int64.equal (S.load_i64 ctx __POS__ (b + off_key i)) 0L
+      then
+        damage :=
+          Printf.sprintf
+            "bucket %d slot %d: bitmap bit persisted, entry lost (line %d)"
+            idx i (if i < 3 then 0 else 1)
+          :: !damage
+    done
+  done;
+  List.rev !damage
+
+let slot_of t ctx ~key =
+  let rec go idx tries =
+    if tries >= 8 then None
+    else
+      match find_slot ctx (bucket_addr t idx) key with
+      | Some i -> Some i
+      | None -> go ((idx + 1) land (nbuckets - 1)) (tries + 1)
+  in
+  go (hash key) 0

@@ -1,0 +1,31 @@
+(** TurboHash: a PM hash table with two-cache-line buckets (SYSTOR'23).
+
+    A fixed-size table of 128-byte buckets: a presence bitmap and three
+    entries on the first cache line, four more entries on the second.
+    Writers take a per-bucket custom lock (["turbo_lock"], which needs a
+    sync-configuration entry, §5.5); gets probe the bitmap lock-free and
+    then scan under the bucket lock. Collisions overflow by linear
+    probing.
+
+    Injected bug (Table 2 {b #3}, new): after writing an entry and its
+    bitmap bit, the insert flushes only the bucket's {e first} cache line.
+    Entries placed in slots 3-6 live on the second line and are never
+    persisted — the bitmap says they exist, the data can vanish in a
+    crash. The bug only bites once buckets fill past three entries, which
+    is why it "manifested only in the largest workload" (§5.1). *)
+
+include App_intf.KV
+
+val slot_of : t -> Machine.Sched.ctx -> key:int -> int option
+(** The slot index currently holding [key] (testing aid: slots >= 3 are
+    the unpersisted ones). *)
+
+val table_addr : t -> int
+
+val recover : Machine.Sched.ctx -> table_addr:int -> t
+(** Reopens the table from a (post-crash) heap. *)
+
+val check_consistency : t -> Machine.Sched.ctx -> string list
+(** Post-crash integrity check: bug #3's signature is a bitmap bit that
+    survived the crash while its second-cache-line entry did not — a used
+    slot holding a zero key. Returns one message per damaged slot. *)

@@ -1,0 +1,222 @@
+module S = Machine.Sched
+
+let name = "wipe"
+let slots = 256
+let initial_capacity = 8
+
+(* Bucket ("bentry") layout: word 0 = capacity, word 1 = count,
+   then (key, value) pairs.
+   Root block: [slots] bucket pointers (the learned model's targets). *)
+let bucket_bytes cap = (2 + (2 * cap)) * 8
+let off_cap = 0
+let off_cnt = 8
+let off_key i = 16 + (16 * i)
+let off_val i = 24 + (16 * i)
+
+type t = { root : int; locks : Machine.Mutex.t array }
+
+(* ---- named sites ---- *)
+
+(* #16/#17: put's key/value stores; persisted after unlock. *)
+let bug16_key_store_pos = __POS__
+let bug17_val_store_pos = __POS__
+
+(* #18: the expansion's bucket-pointer swap; never persisted. *)
+let bug18_store_pos = __POS__
+
+(* Locked loads that observe them. *)
+let get_key_load_pos = __POS__
+let get_val_load_pos = __POS__
+let bucket_ptr_load_pos = __POS__
+
+(* Writer-side entry loads (sorted insert, expansion copy). *)
+let wr_entry_load_pos = __POS__
+
+(* Count store/load (persisted in-section). *)
+let count_store_pos = __POS__
+
+(* Lock-free fast-path probe of get (benign: WIPE tolerates a stale
+   emptiness check — the locked scan revalidates). *)
+let lf_count_probe_pos = __POS__
+let lf_bucket_probe_pos = __POS__
+
+let bugs =
+  let l = Ground_truth.loc in
+  [
+    { Ground_truth.gt_id = 16; gt_new = true;
+      gt_desc = "load unpersisted key";
+      gt_store_locs = [ l bug16_key_store_pos ];
+      gt_load_locs = [ l get_key_load_pos; l wr_entry_load_pos ] };
+    { Ground_truth.gt_id = 17; gt_new = true;
+      gt_desc = "load unpersisted value";
+      gt_store_locs = [ l bug17_val_store_pos ];
+      gt_load_locs = [ l get_val_load_pos; l wr_entry_load_pos ] };
+    { Ground_truth.gt_id = 18; gt_new = true;
+      gt_desc = "load unpersisted pointer";
+      gt_store_locs = [ l bug18_store_pos ];
+      gt_load_locs = [ l bucket_ptr_load_pos ] };
+  ]
+
+let benign =
+  [
+    Ground_truth.Load_at (Ground_truth.loc lf_count_probe_pos);
+    Ground_truth.Load_at (Ground_truth.loc lf_bucket_probe_pos);
+  ]
+let sync_config = Machine.Sync_config.builtin
+
+(* The "learned model": trained on the workload's key distribution so
+   keys spread evenly over the buckets; we model this with a fixed mixing
+   transform of the key. *)
+let model_slot key =
+  let h = key lxor (key lsr 33) in
+  let h = h * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land max_int land (slots - 1)
+
+
+let alloc_bucket ctx cap =
+  let b = S.alloc ctx ~align:64 (bucket_bytes cap) in
+  S.store_i64 ctx __POS__ (b + off_cap) (Int64.of_int cap);
+  S.store_i64 ctx __POS__ (b + off_cnt) 0L;
+  S.persist ctx __POS__ b 16;
+  b
+
+let create ctx =
+  let root = S.alloc ctx ~align:64 (8 * slots) in
+  for i = 0 to slots - 1 do
+    let b = alloc_bucket ctx initial_capacity in
+    S.store_i64 ctx __POS__ (root + (8 * i)) (Int64.of_int b)
+  done;
+  S.persist ctx __POS__ root (8 * slots);
+  { root; locks = Array.init slots (fun _ -> Machine.Mutex.create ctx) }
+
+let root_addr t = t.root
+
+let recover ctx ~root_addr =
+  { root = root_addr;
+    locks = Array.init slots (fun _ -> Machine.Mutex.create ctx) }
+
+let bucket_of t ctx slot =
+  Int64.to_int (S.load_i64 ctx bucket_ptr_load_pos (t.root + (8 * slot)))
+
+let cap ctx b = Int64.to_int (S.load_i64 ctx __POS__ (b + off_cap))
+let cnt ctx b = Int64.to_int (S.load_i64 ctx __POS__ (b + off_cnt))
+let bucket_capacity t ctx ~slot = cap ctx (bucket_of t ctx slot)
+
+(* Expansion: copy entries into a double-size bucket (persisted), then
+   swap the root pointer — which is never persisted (bug #18). *)
+let expand t ctx slot b =
+  let c = cnt ctx b in
+  let new_cap = 2 * cap ctx b in
+  let nb = alloc_bucket ctx new_cap in
+  for i = 0 to c - 1 do
+    S.store_i64 ctx __POS__ (nb + off_key i)
+      (S.load_i64 ctx wr_entry_load_pos (b + off_key i));
+    S.store_i64 ctx __POS__ (nb + off_val i)
+      (S.load_i64 ctx wr_entry_load_pos (b + off_val i))
+  done;
+  S.store_i64 ctx __POS__ (nb + off_cnt) (Int64.of_int c);
+  S.persist ctx __POS__ nb (bucket_bytes new_cap);
+  (* BUG #18: the pointer swap is atomic and visible — and never
+     flushed. *)
+  S.store_i64 ctx bug18_store_pos (t.root + (8 * slot)) (Int64.of_int nb);
+  nb
+
+let insert t ctx ~key ~value =
+  S.with_frame ctx "wipe_put" @@ fun () ->
+  let slot = model_slot key in
+  let deferred = ref [] in
+  Machine.Mutex.lock t.locks.(slot) ctx __POS__;
+  let b = bucket_of t ctx slot in
+  let b = if cnt ctx b >= cap ctx b then expand t ctx slot b else b in
+  let c = cnt ctx b in
+  let k64 = Int64.of_int key in
+  let rec existing i =
+    if i >= c then None
+    else if Int64.equal (S.load_i64 ctx wr_entry_load_pos (b + off_key i)) k64
+    then Some i
+    else existing (i + 1)
+  in
+  (match existing 0 with
+  | Some i ->
+      S.store_i64 ctx bug17_val_store_pos (b + off_val i) value;
+      deferred := [ (b + off_val i, 8) ]
+  | None ->
+      (* Sorted insert: shift the tail right. *)
+      let rec slot_for i =
+        if i >= c then i
+        else if S.load_i64 ctx wr_entry_load_pos (b + off_key i) > k64 then i
+        else slot_for (i + 1)
+      in
+      let pos = slot_for 0 in
+      for j = c - 1 downto pos do
+        S.store_i64 ctx bug16_key_store_pos (b + off_key (j + 1))
+          (S.load_i64 ctx wr_entry_load_pos (b + off_key j));
+        S.store_i64 ctx bug17_val_store_pos (b + off_val (j + 1))
+          (S.load_i64 ctx wr_entry_load_pos (b + off_val j))
+      done;
+      S.store_i64 ctx bug16_key_store_pos (b + off_key pos) k64;
+      S.store_i64 ctx bug17_val_store_pos (b + off_val pos) value;
+      S.store_i64 ctx count_store_pos (b + off_cnt) (Int64.of_int (c + 1));
+      S.persist ctx __POS__ (b + off_cnt) 8;
+      deferred := [ (b + off_key pos, 16 * (c + 1 - pos)) ]);
+  Machine.Mutex.unlock t.locks.(slot) ctx __POS__;
+  (* BUG #16/#17: the entries persist in a separate, re-acquired critical
+     section (the Figure 2d shape): the lock is the same, but the atomic
+     section is not — only the timestamped effective lockset sees it. *)
+  if !deferred <> [] then
+    Machine.Mutex.with_lock t.locks.(slot) ctx __POS__ (fun () ->
+        List.iter (fun (addr, size) -> S.persist ctx __POS__ addr size)
+          !deferred)
+
+let update = insert
+
+let get t ctx ~key =
+  S.with_frame ctx "wipe_get" @@ fun () ->
+  let slot = model_slot key in
+  (* Lock-free emptiness fast path (revalidated under the lock). *)
+  let b0 = Int64.to_int (S.load_i64 ctx lf_bucket_probe_pos (t.root + (8 * slot))) in
+  if Int64.equal (S.load_i64 ctx lf_count_probe_pos (b0 + off_cnt)) 0L then None
+  else
+  Machine.Mutex.with_lock t.locks.(slot) ctx __POS__ @@ fun () ->
+  let b = bucket_of t ctx slot in
+  let c = cnt ctx b in
+  let k64 = Int64.of_int key in
+  let rec scan i =
+    if i >= c then None
+    else if Int64.equal (S.load_i64 ctx get_key_load_pos (b + off_key i)) k64
+    then Some (S.load_i64 ctx get_val_load_pos (b + off_val i))
+    else scan (i + 1)
+  in
+  scan 0
+
+let delete t ctx ~key =
+  S.with_frame ctx "wipe_delete" @@ fun () ->
+  let slot = model_slot key in
+  let deferred = ref [] in
+  Machine.Mutex.lock t.locks.(slot) ctx __POS__;
+  let b = bucket_of t ctx slot in
+  let c = cnt ctx b in
+  let k64 = Int64.of_int key in
+  let rec scan i =
+    if i >= c then ()
+    else if Int64.equal (S.load_i64 ctx wr_entry_load_pos (b + off_key i)) k64
+    then begin
+      for j = i to c - 2 do
+        S.store_i64 ctx bug16_key_store_pos (b + off_key j)
+          (S.load_i64 ctx wr_entry_load_pos (b + off_key (j + 1)));
+        S.store_i64 ctx bug17_val_store_pos (b + off_val j)
+          (S.load_i64 ctx wr_entry_load_pos (b + off_val (j + 1)))
+      done;
+      S.store_i64 ctx count_store_pos (b + off_cnt) (Int64.of_int (c - 1));
+      S.persist ctx __POS__ (b + off_cnt) 8;
+      deferred := [ (b + off_key i, 16 * (c - i)) ]
+    end
+    else scan (i + 1)
+  in
+  scan 0;
+  Machine.Mutex.unlock t.locks.(slot) ctx __POS__;
+  (* Same release-and-reacquire persist pattern as insert. *)
+  if !deferred <> [] then
+    Machine.Mutex.with_lock t.locks.(slot) ctx __POS__ (fun () ->
+        List.iter (fun (addr, size) -> S.persist ctx __POS__ addr size)
+          !deferred)

@@ -1,0 +1,29 @@
+(** WIPE: a write-optimized learned index for PM (TACO 2024).
+
+    A two-level structure: a linear model maps a key to one of the
+    buckets ("bentries"); each bucket is a sorted array guarded by its
+    own pthread mutex (Table 1: Lock). Buckets grow by copy-and-swap
+    expansion.
+
+    Injected bugs (Table 2 #16-#18, all new). All three have the
+    Figure 1c shape — both racing accesses hold the {e same} bucket lock,
+    so traditional lockset analysis is structurally blind to them (the
+    Eraser-baseline ablation demonstrates this):
+    - {b #16}/{b #17}: put inserts the key and value inside the critical
+      section but persists them only after unlock; a locked get of the
+      same bucket acts on visible-but-not-durable data.
+    - {b #18}: bucket expansion copies and persists the entries into a
+      larger buffer, then swaps the bucket pointer — but the pointer
+      itself is never persisted: later (durable) puts into the new buffer
+      are stranded if a crash reverts the pointer (§5.1). *)
+
+include App_intf.KV
+
+val bucket_capacity : t -> Machine.Sched.ctx -> slot:int -> int
+(** Capacity of bucket [slot] (testing aid: grows on expansion). *)
+
+val slots : int
+(** Number of model-addressed buckets. *)
+
+val root_addr : t -> int
+val recover : Machine.Sched.ctx -> root_addr:int -> t

@@ -1,0 +1,1 @@
+lib/baselines/durinn.ml: Hashtbl Hawkset List Machine Pmem String Trace Unix

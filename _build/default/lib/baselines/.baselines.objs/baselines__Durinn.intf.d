@@ -1,0 +1,1 @@
+lib/baselines/durinn.mli: Machine Trace

@@ -1,0 +1,1 @@
+lib/baselines/eraser.mli: Hawkset Trace

@@ -1,0 +1,1 @@
+lib/baselines/pmrace.ml: Hashtbl List Machine Trace Unix Workload

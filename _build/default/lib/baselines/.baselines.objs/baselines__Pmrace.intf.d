@@ -1,0 +1,1 @@
+lib/baselines/pmrace.mli: Machine Workload

@@ -1,0 +1,113 @@
+type candidate = {
+  cand_store_loc : string;
+  cand_load_locs : string list;
+}
+
+type report = {
+  candidates : candidate list;
+  executions : int;
+  confirmed : (string * string) list;
+  seconds : float;
+}
+
+(* Candidate extraction: collect the serialized trace's store windows and
+   loads (IRH off: a serial execution publishes nothing, the heuristic
+   would discard everything) and pair every window that was not persisted
+   immediately with the load sites reading overlapping bytes. *)
+let candidates_of_trace trace =
+  let c = Hawkset.Collector.collect ~irh:false trace in
+  let windows =
+    Hashtbl.fold (fun _ ws acc -> ws @ acc) c.Hawkset.Collector.windows_by_word []
+  in
+  let loads =
+    Hashtbl.fold (fun _ ls acc -> ls @ acc) c.Hawkset.Collector.loads_by_word []
+  in
+  let by_store : (string, (string, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun (w : Hawkset.Access.window) ->
+      (* A store persisted in place (window closed by its own persist with
+         nothing in between) is still a candidate for Durinn: the window
+         exists on concurrent re-execution. Only overwritten-dead stores
+         are skipped. *)
+      match w.Hawkset.Access.w_end with
+      | Hawkset.Access.Overwritten_same_thread
+      | Hawkset.Access.Overwritten_other_thread ->
+          ()
+      | Hawkset.Access.Persisted_same_thread
+      | Hawkset.Access.Persisted_other_thread | Hawkset.Access.Open_at_exit ->
+          let store_loc = Trace.Site.location w.Hawkset.Access.w_site in
+          let tbl =
+            match Hashtbl.find_opt by_store store_loc with
+            | Some t -> t
+            | None ->
+                let t = Hashtbl.create 8 in
+                Hashtbl.add by_store store_loc t;
+                t
+          in
+          List.iter
+            (fun (l : Hawkset.Access.load) ->
+              if
+                Pmem.Layout.ranges_overlap w.Hawkset.Access.w_addr
+                  w.Hawkset.Access.w_size l.Hawkset.Access.l_addr
+                  l.Hawkset.Access.l_size
+              then
+                Hashtbl.replace tbl (Trace.Site.location l.Hawkset.Access.l_site)
+                  ())
+            loads)
+    windows;
+  Hashtbl.fold
+    (fun store_loc tbl acc ->
+      let load_locs = List.sort compare (Hashtbl.fold (fun l () a -> l :: a) tbl []) in
+      if load_locs = [] then acc
+      else { cand_store_loc = store_loc; cand_load_locs = load_locs } :: acc)
+    by_store []
+  |> List.sort compare
+
+let run ~serial_run ~concurrent_run ?(attempts_per_candidate = 3) ?(delay = 60)
+    () =
+  let t0 = Unix.gettimeofday () in
+  (* Phase 1: serialized execution. *)
+  let serial = serial_run () in
+  let candidates = candidates_of_trace serial.Machine.Sched.trace in
+  (* Phase 2: targeted adversarial re-executions. *)
+  let executions = ref 0 in
+  let confirmed : (string * string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun cand ->
+      let found = ref false in
+      for attempt = 0 to attempts_per_candidate - 1 do
+        if not !found then begin
+          incr executions;
+          let r =
+            concurrent_run
+              ~policy:
+                (Machine.Sched.Targeted_delay
+                   { store_loc = cand.cand_store_loc; duration = delay })
+              ~seed:attempt
+          in
+          List.iter
+            (fun (o : Machine.Sched.observation) ->
+              let sl = Trace.Site.location o.Machine.Sched.obs_store_site in
+              let ll = Trace.Site.location o.Machine.Sched.obs_load_site in
+              if String.equal sl cand.cand_store_loc then begin
+                Hashtbl.replace confirmed (sl, ll) ();
+                found := true
+              end)
+            r.Machine.Sched.observations
+        end
+      done)
+    candidates;
+  {
+    candidates;
+    executions = !executions;
+    confirmed =
+      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) confirmed []);
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+let observed_pair report ~store_locs ~load_locs =
+  List.exists
+    (fun (s, l) -> List.mem s store_locs && List.mem l load_locs)
+    report.confirmed

@@ -1,0 +1,56 @@
+(** Durinn-style adversarial interleaving (Fu et al., OSDI'22), miniature.
+
+    Durinn detects durable-linearizability bugs in two steps (§6.3):
+    it first {e serializes} the execution to extract potentially racy
+    operation pairs, then — for each candidate — forces the suspected
+    interleaving with breakpoints, re-executing until the race is (or is
+    not) observed. Like PMRace it must directly witness the race; unlike
+    PMRace its search is {e targeted} rather than fuzzed, which works well
+    on small workloads and "quickly becomes impractical for large" ones.
+
+    This miniature reproduces that structure application-agnostically at
+    the trace level:
+
+    - {b Candidate extraction}: run the workload single-threaded
+      (serialized), collect the trace, and take every store site whose
+      value was visible-but-not-durable for a nonzero window (closed
+      late or never) together with the load sites touching overlapping
+      addresses — the "potentially racy operation pairs".
+    - {b Adversarial phase}: for each candidate store site, re-execute
+      concurrently under {!Machine.Sched.Targeted_delay}, descheduling
+      the storing thread right at that site (the breakpoint), and report
+      the candidate only when the runtime monitor directly observes the
+      inconsistency. *)
+
+type candidate = {
+  cand_store_loc : string;
+  cand_load_locs : string list;  (** Loads overlapping the store's data. *)
+}
+
+type report = {
+  candidates : candidate list;  (** From the serialized execution. *)
+  executions : int;  (** Concurrent re-executions performed. *)
+  confirmed : (string * string) list;
+      (** (store, load) location pairs directly observed. *)
+  seconds : float;
+}
+
+val candidates_of_trace : Trace.Tracebuf.t -> candidate list
+(** Candidate extraction from a serialized trace. *)
+
+val run :
+  serial_run:(unit -> Machine.Sched.report) ->
+  concurrent_run:
+    (policy:Machine.Sched.policy -> seed:int -> Machine.Sched.report) ->
+  ?attempts_per_candidate:int ->
+  ?delay:int ->
+  unit ->
+  report
+(** [run ~serial_run ~concurrent_run ()] performs both phases.
+    [serial_run] executes the workload on one thread; [concurrent_run]
+    executes it with the full thread count under the given policy (pass
+    [observe:true] machines). [attempts_per_candidate] (default 3) bounds
+    the targeted re-executions per candidate — the knob that blows up on
+    large workloads. *)
+
+val observed_pair : report -> store_locs:string list -> load_locs:string list -> bool

@@ -1,0 +1,13 @@
+let traditional =
+  {
+    Hawkset.Pipeline.default with
+    Hawkset.Pipeline.effective_lockset = false;
+    timestamps = false;
+  }
+
+let analyse trace = Hawkset.Pipeline.races ~config:traditional trace
+
+let analyse_no_hb trace =
+  Hawkset.Pipeline.races
+    ~config:{ traditional with Hawkset.Pipeline.vector_clocks = false }
+    trace

@@ -1,0 +1,23 @@
+(** Traditional lockset analysis (Eraser, Savage et al., TOCS'97),
+    adapted to consume the same trace as HawkSet.
+
+    The classic algorithm intersects the lockset of each store with the
+    lockset of each load to the same region and reports when the
+    intersection is empty (§3.1.1). It is PM-oblivious: it looks at the
+    lockset {e at the store}, ignoring where — or whether — the value is
+    persisted. It therefore misses every Figure 1c-shaped bug (store and
+    load protected by the same lock, persist outside the critical
+    section), which is all three WIPE bugs, and cannot reason about
+    missing-persist windows between same-lock accesses.
+
+    Implementation-wise this is HawkSet's pipeline with the effective
+    lockset and timestamps disabled; the happens-before filter is kept
+    (Eraser-style tools grew one too — Helgrind+). The IRH is also kept
+    so the comparison isolates the PM-awareness, not the FP pruning. *)
+
+val analyse : Trace.Tracebuf.t -> Hawkset.Report.t
+
+val analyse_no_hb : Trace.Tracebuf.t -> Hawkset.Report.t
+(** The original Eraser had no happens-before reasoning at all; this
+    variant is the ablation point used to quantify Figure 3's false
+    positives. *)

@@ -1,0 +1,47 @@
+type report = {
+  executions : int;
+  observations : Machine.Sched.observation list;
+  seconds : float;
+}
+
+let fuzz ~run ~seed_workload ?(threads = 8) ?(executions = 20)
+    ?(mutation_seed = 0) ?(delay_probability = 0.05) ?(delay_duration = 40) ()
+    =
+  let t0 = Unix.gettimeofday () in
+  let prng = Machine.Prng.create mutation_seed in
+  let seen : (string * string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let observations = ref [] in
+  let workload = ref seed_workload in
+  for exec = 0 to executions - 1 do
+    let per_thread = Workload.Seeds.split ~threads !workload in
+    let policy =
+      Machine.Sched.Delay_injection
+        { probability = delay_probability; duration = delay_duration }
+    in
+    let r = run ~per_thread ~seed:(mutation_seed + exec) ~policy ~observe:true in
+    List.iter
+      (fun (o : Machine.Sched.observation) ->
+        let key =
+          ( Trace.Site.location o.Machine.Sched.obs_store_site,
+            Trace.Site.location o.Machine.Sched.obs_load_site )
+        in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          observations := o :: !observations
+        end)
+      r.Machine.Sched.observations;
+    (* Mutate for the next execution (the first one runs the seed). *)
+    workload := Workload.Seeds.mutate prng !workload
+  done;
+  {
+    executions;
+    observations = List.rev !observations;
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+let observed report ~store_locs ~load_locs =
+  List.exists
+    (fun (o : Machine.Sched.observation) ->
+      List.mem (Trace.Site.location o.Machine.Sched.obs_store_site) store_locs
+      && List.mem (Trace.Site.location o.Machine.Sched.obs_load_site) load_locs)
+    report.observations

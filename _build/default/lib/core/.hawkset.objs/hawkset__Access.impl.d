@@ -1,0 +1,1 @@
+lib/core/access.ml: Lockset Trace Vclock

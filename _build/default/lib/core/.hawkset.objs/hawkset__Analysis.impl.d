@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Access Collector Hashtbl List Lockset Pmem Report Vclock

@@ -1,0 +1,1 @@
+lib/core/collector.ml: Access Array Format Hashtbl Lazy List Lockset Option Pmem Trace Vclock

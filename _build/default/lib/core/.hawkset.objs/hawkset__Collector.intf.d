@@ -1,0 +1,1 @@
+lib/core/collector.mli: Access Format Hashtbl Trace

@@ -1,0 +1,1 @@
+lib/core/lockset.ml: Array Format List Trace

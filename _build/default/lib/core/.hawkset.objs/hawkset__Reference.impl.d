@@ -1,0 +1,1 @@
+lib/core/reference.ml: Access Collector Hashtbl List Lockset Pmem Report Trace Vclock

@@ -1,0 +1,1 @@
+lib/core/report.ml: Access Buffer Char Format List Printf String Trace

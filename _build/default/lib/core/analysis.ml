@@ -1,0 +1,100 @@
+type features = {
+  effective_lockset : bool;
+  timestamps : bool;
+  vector_clocks : bool;
+}
+
+let all_features =
+  { effective_lockset = true; timestamps = true; vector_clocks = true }
+
+let traditional =
+  { effective_lockset = false; timestamps = false; vector_clocks = true }
+
+let last_pairs = ref 0
+let pairs_examined () = !last_pairs
+
+let analyse ?(features = all_features) (c : Collector.result) =
+  let tables = c.Collector.tables in
+  let pairs = ref 0 in
+  (* Memoized comparisons on interned ids (§4: "direct comparison"). *)
+  let disjoint_memo : (int * int, bool) Hashtbl.t = Hashtbl.create 256 in
+  let disjoint a b =
+    let key = (a, b) in
+    match Hashtbl.find_opt disjoint_memo key with
+    | Some r -> r
+    | None ->
+        let r =
+          Lockset.disjoint_locks
+            (Access.Ls_table.get tables.Access.ls a)
+            (Access.Ls_table.get tables.Access.ls b)
+        in
+        Hashtbl.add disjoint_memo key r;
+        r
+  in
+  let leq_memo : (int * int, bool) Hashtbl.t = Hashtbl.create 256 in
+  let leq a b =
+    let key = (a, b) in
+    match Hashtbl.find_opt leq_memo key with
+    | Some r -> r
+    | None ->
+        let r =
+          Vclock.leq
+            (Access.Vc_table.get tables.Access.vc a)
+            (Access.Vc_table.get tables.Access.vc b)
+        in
+        Hashtbl.add leq_memo key r;
+        r
+  in
+  (* The load may fall inside the store's visible-but-not-durable window:
+     it must not happen-before the store, and the window's end (the
+     persistency, §3.1.2's Persist3 discussion) must not happen-before the
+     load. A window that never closed can race with anything after the
+     store. *)
+  let may_overlap_window (w : Access.window) (l : Access.load) =
+    (not features.vector_clocks)
+    || (not (leq l.Access.l_vec w.Access.w_store_vec))
+       &&
+       match w.Access.w_end_vec with
+       | None -> true
+       | Some e -> not (leq e l.Access.l_vec)
+  in
+  let report = ref Report.empty in
+  Hashtbl.iter
+    (fun word loads ->
+      match Hashtbl.find_opt c.Collector.windows_by_word word with
+      | None -> ()
+      | Some windows ->
+          List.iter
+            (fun (l : Access.load) ->
+              List.iter
+                (fun (w : Access.window) ->
+                  (* Examine each (window, load) pair at one canonical
+                     word even when the ranges share several. *)
+                  let canonical =
+                    Pmem.Layout.word_index (max w.Access.w_addr l.Access.l_addr)
+                  in
+                  if
+                    canonical = word
+                    && w.Access.w_tid <> l.Access.l_tid
+                    && Pmem.Layout.ranges_overlap w.Access.w_addr
+                         w.Access.w_size l.Access.l_addr l.Access.l_size
+                  then begin
+                    incr pairs;
+                    if may_overlap_window w l then
+                      let store_ls =
+                        if features.effective_lockset then w.Access.w_eff
+                        else w.Access.w_store_ls
+                      in
+                      if disjoint store_ls l.Access.l_ls then
+                        report :=
+                          Report.add !report ~store_site:w.Access.w_site
+                            ~load_site:l.Access.l_site ~store_tid:w.Access.w_tid
+                            ~load_tid:l.Access.l_tid
+                            ~addr:(max w.Access.w_addr l.Access.l_addr)
+                            ~window_end:w.Access.w_end
+                  end)
+                windows)
+            loads)
+    c.Collector.loads_by_word;
+  last_pairs := !pairs;
+  !report

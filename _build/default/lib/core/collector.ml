@@ -1,0 +1,462 @@
+type stats = {
+  c_events : int;
+  c_stores : int;
+  c_loads : int;
+  c_windows : int;
+  c_load_records : int;
+  c_irh_discarded_stores : int;
+  c_irh_discarded_loads : int;
+  c_locksets : int;
+  c_vclocks : int;
+  c_words : int;
+}
+
+type result = {
+  tables : Access.tables;
+  windows_by_word : (int, Access.window list) Hashtbl.t;
+  loads_by_word : (int, Access.load list) Hashtbl.t;
+  stats : stats;
+}
+
+(* Per-thread tracking state (Lock Tracking + Thread Tracking components). *)
+type thread_state = {
+  mutable ls : Lockset.t;
+  mutable acq_clock : int; (* logical clock, ticks at each acquisition *)
+  mutable vec : Vclock.t;
+  mutable vc_dirty : bool; (* batched vector-clock increment pending *)
+}
+
+(* Store metadata shared by the per-word open entries of one store. *)
+type meta = {
+  m_tid : int;
+  m_addr : int;
+  m_size : int;
+  m_site_id : int;
+  m_ls : Lockset.t;
+  m_vec_id : int;
+}
+
+type open_entry = {
+  oe_meta : meta;
+  oe_word : int;
+  oe_lo : int; (* byte subrange of the store within this word *)
+  oe_hi : int; (* exclusive *)
+  mutable oe_pending : int list; (* tids whose flush covers this entry *)
+  mutable oe_closed : bool;
+}
+
+type pub_state = First_toucher of int | Published
+
+module Site_table = Trace.Interner.Make (struct
+  type t = Trace.Site.t
+
+  let equal = Trace.Site.equal
+  let hash = Trace.Site.hash
+end)
+
+type state = {
+  irh : bool;
+  timestamps : bool;
+  eadr : bool;
+  tables : Access.tables;
+  sites : Site_table.t;
+  mutable threads : thread_state array;
+  mutable nthreads : int;
+  open_by_word : (int, open_entry list ref) Hashtbl.t;
+  pending_by_tid : (int, open_entry list ref) Hashtbl.t;
+  pub : (int, pub_state) Hashtbl.t;
+  windows_by_word : (int, Access.window list) Hashtbl.t;
+  loads_by_word : (int, Access.load list) Hashtbl.t;
+  window_dedup : (int * int * int * int * int * int * int, unit) Hashtbl.t;
+  load_dedup : (int * int * int * int * int, unit) Hashtbl.t;
+  mutable next_id : int;
+  mutable n_windows : int;
+  mutable n_load_records : int;
+  mutable irh_stores : int;
+  mutable irh_loads : int;
+  mutable n_stores : int;
+  mutable n_loads : int;
+}
+
+(* A fresh thread has a batched tick pending: its first PM access gives it
+   a non-zero own component, so threads that never synchronized compare as
+   concurrent rather than equal. *)
+let fresh_thread () =
+  { ls = Lockset.empty; acq_clock = 0; vec = Vclock.zero; vc_dirty = true }
+
+let thread st tid =
+  let tid = Trace.Tid.to_int tid in
+  while tid >= st.nthreads do
+    if st.nthreads = Array.length st.threads then begin
+      let bigger = Array.make (max 8 (2 * st.nthreads)) (fresh_thread ()) in
+      Array.blit st.threads 0 bigger 0 st.nthreads;
+      (* Each slot needs its own record. *)
+      for i = st.nthreads to Array.length bigger - 1 do
+        bigger.(i) <- fresh_thread ()
+      done;
+      st.threads <- bigger
+    end;
+    st.nthreads <- st.nthreads + 1
+  done;
+  st.threads.(tid)
+
+(* Lazy vector-clock tick: the first PM access after a thread create/join
+   increments the thread's own component (§4 batching). *)
+let touch_vec st tid =
+  let th = thread st tid in
+  if th.vc_dirty then begin
+    th.vec <- Vclock.tick th.vec (Trace.Tid.to_int tid);
+    th.vc_dirty <- false
+  end;
+  th
+
+let publish st tid word =
+  let tid = Trace.Tid.to_int tid in
+  match Hashtbl.find_opt st.pub word with
+  | None -> Hashtbl.replace st.pub word (First_toucher tid)
+  | Some (First_toucher t) when t <> tid -> Hashtbl.replace st.pub word Published
+  | Some (First_toucher _) | Some Published -> ()
+
+let is_published st word =
+  match Hashtbl.find_opt st.pub word with
+  | Some Published -> true
+  | Some (First_toucher _) | None -> false
+
+let word_entries st word =
+  match Hashtbl.find_opt st.open_by_word word with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add st.open_by_word word r;
+      r
+
+let end_kind_tag = function
+  | Access.Persisted_same_thread -> 0
+  | Access.Persisted_other_thread -> 1
+  | Access.Overwritten_same_thread -> 2
+  | Access.Overwritten_other_thread -> 3
+  | Access.Open_at_exit -> 4
+
+let emit_window st entry ~eff ~end_vec ~kind =
+  let m = entry.oe_meta in
+  (* Timestamps have served their purpose (the same-thread intersection);
+     strip them so windows from different atomic sections share ids. *)
+  let eff_id = Access.Ls_table.intern st.tables.Access.ls (Lockset.strip_ts eff) in
+  let evec = match end_vec with Some v -> v | None -> -1 in
+  let key =
+    (entry.oe_word, m.m_tid, m.m_site_id, eff_id, m.m_vec_id, evec,
+     end_kind_tag kind)
+  in
+  if not (Hashtbl.mem st.window_dedup key) then begin
+    Hashtbl.add st.window_dedup key ();
+    let w =
+      {
+        Access.w_id = st.next_id;
+        w_tid = m.m_tid;
+        w_addr = m.m_addr;
+        w_size = m.m_size;
+        w_site = Site_table.get st.sites m.m_site_id;
+        w_store_ls =
+          Access.Ls_table.intern st.tables.Access.ls (Lockset.strip_ts m.m_ls);
+        w_eff = eff_id;
+        w_store_vec = m.m_vec_id;
+        w_end_vec = end_vec;
+        w_end = kind;
+      }
+    in
+    st.next_id <- st.next_id + 1;
+    st.n_windows <- st.n_windows + 1;
+    let prev =
+      Option.value ~default:[] (Hashtbl.find_opt st.windows_by_word entry.oe_word)
+    in
+    Hashtbl.replace st.windows_by_word entry.oe_word (w :: prev)
+  end
+
+(* Close a window. IRH: a store explicitly persisted while its word is
+   still unpublished happened during initialization and is discarded. *)
+let close_entry st entry ~eff ~end_vec ~kind =
+  entry.oe_closed <- true;
+  let persisted =
+    match kind with
+    | Access.Persisted_same_thread | Access.Persisted_other_thread -> true
+    | Access.Overwritten_same_thread | Access.Overwritten_other_thread
+    | Access.Open_at_exit ->
+        false
+  in
+  if st.irh && persisted && not (is_published st entry.oe_word) then
+    st.irh_stores <- st.irh_stores + 1
+  else emit_window st entry ~eff ~end_vec ~kind
+
+let effective_lockset st m ~closer_tid ~closer_ls =
+  if m.m_tid = closer_tid then
+    if st.timestamps then Lockset.inter_same_thread m.m_ls closer_ls
+    else Lockset.inter_same_thread_no_ts m.m_ls closer_ls
+  else
+    (* A window closed by another thread cannot be spanned atomically by
+       any lock the storing thread held. *)
+    Lockset.empty
+
+let on_store st ~tid ~addr ~size ~site =
+  st.n_stores <- st.n_stores + 1;
+  let th = touch_vec st tid in
+  if st.eadr then
+    (* eADR: the store is durable the moment it is visible — there is no
+       window in which another thread could load unpersisted data. Only
+       the publication state needs updating. *)
+    List.iter (publish st tid) (Pmem.Layout.words_of_range addr size)
+  else begin
+  let itid = Trace.Tid.to_int tid in
+  let vec_id = Access.Vc_table.intern st.tables.Access.vc th.vec in
+  let site_id = Site_table.intern st.sites site in
+  let words = Pmem.Layout.words_of_range addr size in
+  List.iter (publish st tid) words;
+  (* Overwrite: close overlapping open windows. *)
+  List.iter
+    (fun word ->
+      let entries = word_entries st word in
+      List.iter
+        (fun e ->
+          if
+            (not e.oe_closed)
+            && Pmem.Layout.ranges_overlap e.oe_lo (e.oe_hi - e.oe_lo) addr size
+          then
+            let kind =
+              if e.oe_meta.m_tid = itid then Access.Overwritten_same_thread
+              else Access.Overwritten_other_thread
+            in
+            close_entry st e
+              ~eff:
+                (effective_lockset st e.oe_meta ~closer_tid:itid
+                   ~closer_ls:th.ls)
+              ~end_vec:(Some vec_id) ~kind)
+        !entries;
+      entries := List.filter (fun e -> not e.oe_closed) !entries)
+    words;
+  (* Open new windows, one per touched word. *)
+  let m =
+    { m_tid = itid; m_addr = addr; m_size = size; m_site_id = site_id;
+      m_ls = th.ls; m_vec_id = vec_id }
+  in
+  List.iter
+    (fun word ->
+      let wlo = word * Pmem.Layout.word_size in
+      let whi = wlo + Pmem.Layout.word_size in
+      let e =
+        {
+          oe_meta = m;
+          oe_word = word;
+          oe_lo = max addr wlo;
+          oe_hi = min (addr + size) whi;
+          oe_pending = [];
+          oe_closed = false;
+        }
+      in
+      let entries = word_entries st word in
+      entries := e :: !entries)
+    words
+  end
+
+let on_load st ~tid ~addr ~size ~site =
+  st.n_loads <- st.n_loads + 1;
+  let th = touch_vec st tid in
+  let words = Pmem.Layout.words_of_range addr size in
+  List.iter (publish st tid) words;
+  let keep = (not st.irh) || List.exists (is_published st) words in
+  if not keep then st.irh_loads <- st.irh_loads + 1
+  else begin
+    let site_id = Site_table.intern st.sites site in
+    let ls_id =
+      Access.Ls_table.intern st.tables.Access.ls (Lockset.strip_ts th.ls)
+    in
+    let vec_id = Access.Vc_table.intern st.tables.Access.vc th.vec in
+    let itid = Trace.Tid.to_int tid in
+    let record =
+      lazy
+        (let l =
+           {
+             Access.l_id = st.next_id;
+             l_tid = itid;
+             l_addr = addr;
+             l_size = size;
+             l_site = Site_table.get st.sites site_id;
+             l_ls = ls_id;
+             l_vec = vec_id;
+           }
+         in
+         st.next_id <- st.next_id + 1;
+         st.n_load_records <- st.n_load_records + 1;
+         l)
+    in
+    List.iter
+      (fun word ->
+        let key = (word, itid, site_id, ls_id, vec_id) in
+        if not (Hashtbl.mem st.load_dedup key) then begin
+          Hashtbl.add st.load_dedup key ();
+          let l = Lazy.force record in
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt st.loads_by_word word)
+          in
+          Hashtbl.replace st.loads_by_word word (l :: prev)
+        end)
+      words
+  end
+
+let on_flush st ~tid ~line =
+  ignore (touch_vec st tid);
+  let itid = Trace.Tid.to_int tid in
+  let first_word = line / Pmem.Layout.word_size in
+  for w = first_word to first_word + (Pmem.Layout.line_size / Pmem.Layout.word_size) - 1 do
+    match Hashtbl.find_opt st.open_by_word w with
+    | None -> ()
+    | Some entries ->
+        List.iter
+          (fun e ->
+            if (not e.oe_closed) && not (List.mem itid e.oe_pending) then begin
+              e.oe_pending <- itid :: e.oe_pending;
+              let pl =
+                match Hashtbl.find_opt st.pending_by_tid itid with
+                | Some r -> r
+                | None ->
+                    let r = ref [] in
+                    Hashtbl.add st.pending_by_tid itid r;
+                    r
+              in
+              pl := e :: !pl
+            end)
+          !entries
+  done
+
+let on_fence st ~tid =
+  let th = touch_vec st tid in
+  let itid = Trace.Tid.to_int tid in
+  match Hashtbl.find_opt st.pending_by_tid itid with
+  | None -> ()
+  | Some entries ->
+      let vec_id = Access.Vc_table.intern st.tables.Access.vc th.vec in
+      List.iter
+        (fun e ->
+          if (not e.oe_closed) && List.mem itid e.oe_pending then
+            let kind =
+              if e.oe_meta.m_tid = itid then Access.Persisted_same_thread
+              else Access.Persisted_other_thread
+            in
+            close_entry st e
+              ~eff:
+                (effective_lockset st e.oe_meta ~closer_tid:itid
+                   ~closer_ls:th.ls)
+              ~end_vec:(Some vec_id) ~kind)
+        !entries;
+      Hashtbl.remove st.pending_by_tid itid
+
+let on_acquire st ~tid ~lock =
+  let th = thread st tid in
+  th.acq_clock <- th.acq_clock + 1;
+  th.ls <- Lockset.acquire th.ls lock ~ts:th.acq_clock
+
+let on_release st ~tid ~lock =
+  let th = thread st tid in
+  th.ls <- Lockset.release th.ls lock
+
+(* Thread creation: the parent's counter ticks, the child adopts the
+   parent's clock and ticks its own counter (§3.1.2). Both threads also
+   get a pending batched tick for their next PM access. *)
+let on_create st ~parent ~child =
+  let p = thread st parent in
+  p.vec <- Vclock.tick p.vec (Trace.Tid.to_int parent);
+  p.vc_dirty <- true;
+  let c = thread st child in
+  c.vec <- Vclock.tick p.vec (Trace.Tid.to_int child);
+  c.vc_dirty <- true
+
+let on_join st ~waiter ~joined =
+  let j = thread st joined in
+  let w = thread st waiter in
+  w.vec <- Vclock.merge w.vec j.vec;
+  w.vc_dirty <- true
+
+let finalize st =
+  (* Windows still open at the end of the trace never persisted: their
+     effective lockset is empty and their happens-before window never
+     closes. The IRH keeps them (they are exactly the unpersisted
+     initialization stores that can race after publication). *)
+  Hashtbl.iter
+    (fun _word entries ->
+      List.iter
+        (fun e ->
+          if not e.oe_closed then
+            close_entry st e ~eff:Lockset.empty ~end_vec:None
+              ~kind:Access.Open_at_exit)
+        !entries)
+    st.open_by_word
+
+let collect ?(irh = true) ?(timestamps = true) ?(eadr = false) trace =
+  let st =
+    {
+      irh;
+      timestamps;
+      eadr;
+      tables = Access.create_tables ();
+      sites = Site_table.create ();
+      threads = Array.init 8 (fun _ -> fresh_thread ());
+      nthreads = 0;
+      open_by_word = Hashtbl.create 4096;
+      pending_by_tid = Hashtbl.create 16;
+      pub = Hashtbl.create 4096;
+      windows_by_word = Hashtbl.create 4096;
+      loads_by_word = Hashtbl.create 4096;
+      window_dedup = Hashtbl.create 4096;
+      load_dedup = Hashtbl.create 4096;
+      next_id = 0;
+      n_windows = 0;
+      n_load_records = 0;
+      irh_stores = 0;
+      irh_loads = 0;
+      n_stores = 0;
+      n_loads = 0;
+    }
+  in
+  Trace.Tracebuf.iter
+    (fun ev ->
+      match ev with
+      | Trace.Event.Store { tid; addr; size; site; non_temporal = _ } ->
+          on_store st ~tid ~addr ~size ~site
+      | Trace.Event.Load { tid; addr; size; site } ->
+          on_load st ~tid ~addr ~size ~site
+      | Trace.Event.Flush { tid; line; kind = _; site = _ } ->
+          on_flush st ~tid ~line
+      | Trace.Event.Fence { tid; site = _ } -> on_fence st ~tid
+      | Trace.Event.Lock_acquire { tid; lock; site = _ } ->
+          on_acquire st ~tid ~lock
+      | Trace.Event.Lock_release { tid; lock; site = _ } ->
+          on_release st ~tid ~lock
+      | Trace.Event.Thread_create { parent; child } ->
+          on_create st ~parent ~child
+      | Trace.Event.Thread_join { waiter; joined } -> on_join st ~waiter ~joined)
+    trace;
+  finalize st;
+  {
+    tables = st.tables;
+    windows_by_word = st.windows_by_word;
+    loads_by_word = st.loads_by_word;
+    stats =
+      {
+        c_events = Trace.Tracebuf.length trace;
+        c_stores = st.n_stores;
+        c_loads = st.n_loads;
+        c_windows = st.n_windows;
+        c_load_records = st.n_load_records;
+        c_irh_discarded_stores = st.irh_stores;
+        c_irh_discarded_loads = st.irh_loads;
+        c_locksets = Access.Ls_table.count st.tables.Access.ls;
+        c_vclocks = Access.Vc_table.count st.tables.Access.vc;
+        c_words = Hashtbl.length st.pub;
+      };
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "events=%d stores=%d loads=%d windows=%d load_records=%d irh(st=%d ld=%d) \
+     locksets=%d vclocks=%d words=%d"
+    s.c_events s.c_stores s.c_loads s.c_windows s.c_load_records
+    s.c_irh_discarded_stores s.c_irh_discarded_loads s.c_locksets s.c_vclocks
+    s.c_words

@@ -1,0 +1,50 @@
+(** Stages 1 and 2 of HawkSet's pipeline (Figure 4).
+
+    Stage 1 — Instrumentation consumption: replays the event trace through
+    the Memory Simulation (worst-case cache: store lifetime windows close
+    only on explicit flush+fence or on overwrite), Lock Tracking
+    (timestamped locksets, the logical clock bumps at every acquisition)
+    and Thread Tracking (vector clocks with the §4 batching optimization:
+    only the first PM access after a thread creation/join ticks the local
+    clock).
+
+    Stage 2 — Initialization Removal Heuristic (§3.1.3): an 8-byte word
+    becomes {e published} at its first access by a second thread; stores
+    explicitly persisted while still unpublished are discarded, loads
+    issued while unpublished are discarded, and unpersisted stores prior
+    to publication are kept (they can still race, as in the
+    publish-before-persist pattern). As in the paper's implementation, the
+    heuristic runs alongside stage 1 rather than as a separate pass. *)
+
+type stats = {
+  c_events : int;
+  c_stores : int;  (** Store events in the trace. *)
+  c_loads : int;  (** Load events in the trace. *)
+  c_windows : int;  (** Window records emitted (after dedup + IRH). *)
+  c_load_records : int;  (** Load records emitted (after dedup + IRH). *)
+  c_irh_discarded_stores : int;
+  c_irh_discarded_loads : int;
+  c_locksets : int;  (** Distinct locksets interned. *)
+  c_vclocks : int;  (** Distinct vector clocks interned. *)
+  c_words : int;  (** Distinct PM words touched. *)
+}
+
+type result = {
+  tables : Access.tables;
+  windows_by_word : (int, Access.window list) Hashtbl.t;
+  loads_by_word : (int, Access.load list) Hashtbl.t;
+  stats : stats;
+}
+
+val collect :
+  ?irh:bool -> ?timestamps:bool -> ?eadr:bool -> Trace.Tracebuf.t -> result
+(** [collect trace] replays the trace and produces the deduplicated access
+    records, grouped by word. [irh] (default [true]) enables stage 2.
+    [timestamps] (default [true]) makes the effective-lockset intersection
+    timestamp-aware (§3.1.2); disabling it is the Figure 2b ablation that
+    misses release-and-reacquire races. [eadr] (default [false]) analyses
+    the trace under the §2.1 eADR assumption — the cache is persistent, so
+    visible-but-not-durable windows cannot exist and no store records are
+    produced (persistency-induced races are impossible by construction). *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,99 @@
+(* Sorted-by-lock-id immutable array of (lock, acquisition timestamp). *)
+
+type entry = { lock : int; ts : int }
+type t = entry array
+
+let empty = [||]
+let is_empty t = Array.length t = 0
+let cardinal = Array.length
+
+let find_index t lock =
+  (* Locksets are tiny (a handful of locks); linear scan beats binary
+     search in practice and keeps the code obvious. *)
+  let n = Array.length t in
+  let rec go i = if i >= n then None else
+      if t.(i).lock = lock then Some i
+      else if t.(i).lock > lock then None
+      else go (i + 1)
+  in
+  go 0
+
+let acquire t lock ~ts =
+  let lock = Trace.Lock_id.to_int lock in
+  match find_index t lock with
+  | Some _ -> t
+  | None ->
+      let n = Array.length t in
+      let out = Array.make (n + 1) { lock; ts } in
+      let pos = ref n in
+      (try
+         for i = 0 to n - 1 do
+           if t.(i).lock > lock then begin
+             pos := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      Array.blit t 0 out 0 !pos;
+      out.(!pos) <- { lock; ts };
+      Array.blit t !pos out (!pos + 1) (n - !pos);
+      out
+
+let release t lock =
+  let lock = Trace.Lock_id.to_int lock in
+  match find_index t lock with
+  | None -> t
+  | Some i ->
+      let n = Array.length t in
+      if n = 1 then empty
+      else begin
+        let out = Array.make (n - 1) t.(0) in
+        Array.blit t 0 out 0 i;
+        Array.blit t (i + 1) out i (n - 1 - i);
+        out
+      end
+
+let mem t lock = find_index t (Trace.Lock_id.to_int lock) <> None
+
+let inter ~with_ts a b =
+  let out = ref [] in
+  let na = Array.length a and nb = Array.length b in
+  let i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let ea = a.(!i) and eb = b.(!j) in
+    if ea.lock = eb.lock then begin
+      if (not with_ts) || ea.ts = eb.ts then out := ea :: !out;
+      incr i;
+      incr j
+    end
+    else if ea.lock < eb.lock then incr i
+    else incr j
+  done;
+  Array.of_list (List.rev !out)
+
+let inter_same_thread a b = inter ~with_ts:true a b
+let inter_same_thread_no_ts a b = inter ~with_ts:false a b
+let disjoint_locks a b = Array.length (inter ~with_ts:false a b) = 0
+let locks t = Array.to_list (Array.map (fun e -> Trace.Lock_id.of_int e.lock) t)
+
+let strip_ts t =
+  if Array.for_all (fun e -> e.ts = 0) t then t
+  else Array.map (fun e -> { e with ts = 0 }) t
+
+let equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri
+        (fun i ea -> if ea.lock <> b.(i).lock || ea.ts <> b.(i).ts then ok := false)
+        a;
+      !ok)
+
+let hash t =
+  Array.fold_left (fun acc e -> (acc * 31) + (e.lock * 7) + e.ts) 17 t
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf e -> Format.fprintf ppf "L%d@@%d" e.lock e.ts))
+    (Array.to_list t)

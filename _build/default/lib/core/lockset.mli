@@ -1,0 +1,56 @@
+(** Timestamped locksets (§3.1.2).
+
+    A lockset is the set of locks held at a point of a thread's execution.
+    Each entry also carries the value of the thread-local logical clock at
+    acquisition time — the clock is incremented on every lock acquisition,
+    so two operations hold "the same lock at the same timestamp" exactly
+    when they sit in the same atomic section (no release/reacquire in
+    between). This is what lets the effective lockset reject the
+    release-and-reacquire pattern of Figure 2d.
+
+    Locksets are immutable; entries are kept sorted by lock id so that
+    equality, hashing and intersections are linear. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val acquire : t -> Trace.Lock_id.t -> ts:int -> t
+(** Adds the lock with the given acquisition timestamp. If the lock is
+    already present (reentrant read locks), the original entry — and its
+    timestamp — is kept: the outermost acquisition delimits the atomic
+    section. *)
+
+val release : t -> Trace.Lock_id.t -> t
+(** Removes the lock; no-op when absent. *)
+
+val mem : t -> Trace.Lock_id.t -> bool
+
+val inter_same_thread : t -> t -> t
+(** Timestamp-aware intersection: keeps entries present in both locksets
+    with the {e same} timestamp. Used to compute the effective lockset of
+    a store and its persistency/overwrite within one thread (§3.1.2). *)
+
+val inter_same_thread_no_ts : t -> t -> t
+(** Intersection on lock identity only — the ablation variant without the
+    logical-clock extension (misses Figure 2d-style races). *)
+
+val disjoint_locks : t -> t -> bool
+(** [true] when the two locksets share no lock, {e ignoring} timestamps:
+    the inter-thread test of Algorithm 1 line 18 (timestamps are only
+    meaningful within a thread, §3.1.2). *)
+
+val locks : t -> Trace.Lock_id.t list
+(** Sorted lock ids, timestamps stripped. *)
+
+val strip_ts : t -> t
+(** Zeroes every timestamp. Timestamps only matter for the same-thread
+    effective-lockset intersection; stripping them before interning lets
+    records from different atomic sections share one lockset id — the §4
+    sharing optimization that keeps per-word record populations small. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type config = {
+  irh : bool;
+  effective_lockset : bool;
+  timestamps : bool;
+  vector_clocks : bool;
+  eadr : bool;
+}
+
+let default =
+  { irh = true; effective_lockset = true; timestamps = true;
+    vector_clocks = true; eadr = false }
+
+let no_irh = { default with irh = false }
+
+type result = {
+  races : Report.t;
+  collector_stats : Collector.stats;
+  pairs_examined : int;
+  analysis_seconds : float;
+}
+
+let run ?(config = default) trace =
+  let t0 = Unix.gettimeofday () in
+  let collected =
+    Collector.collect ~irh:config.irh ~timestamps:config.timestamps
+      ~eadr:config.eadr trace
+  in
+  let features =
+    {
+      Analysis.effective_lockset = config.effective_lockset;
+      timestamps = config.timestamps;
+      vector_clocks = config.vector_clocks;
+    }
+  in
+  let races = Analysis.analyse ~features collected in
+  let t1 = Unix.gettimeofday () in
+  {
+    races;
+    collector_stats = collected.Collector.stats;
+    pairs_examined = Analysis.pairs_examined ();
+    analysis_seconds = t1 -. t0;
+  }
+
+let races ?config trace = (run ?config trace).races

@@ -1,0 +1,36 @@
+(** HawkSet's end-to-end pipeline (Figure 4): trace in, race reports out.
+
+    The pipeline is application-agnostic: it consumes only the event trace
+    and never inspects application state, mirroring the paper's claim that
+    any producer of the instrumentation events can be analysed. *)
+
+type config = {
+  irh : bool;  (** Stage 2, the Initialization Removal Heuristic. *)
+  effective_lockset : bool;  (** §3.1.2's effective lockset (vs. store-time). *)
+  timestamps : bool;  (** Logical-clock extension of the lockset. *)
+  vector_clocks : bool;  (** Inter-thread happens-before filter. *)
+  eadr : bool;
+      (** Analyse under the §2.1 eADR assumption (persistent cache):
+          no window ever exists, so nothing is reported — the flag shows
+          that the whole bug class is an artifact of the volatile cache. *)
+}
+
+val default : config
+(** Everything on — the configuration evaluated in the paper. *)
+
+val no_irh : config
+(** [default] with the IRH disabled — the Table 4 comparison point. *)
+
+type result = {
+  races : Report.t;
+  collector_stats : Collector.stats;
+  pairs_examined : int;
+  analysis_seconds : float;
+      (** Wall-clock time of collection + analysis (the "testing time" the
+          efficiency evaluation reports excludes workload generation). *)
+}
+
+val run : ?config:config -> Trace.Tracebuf.t -> result
+
+val races : ?config:config -> Trace.Tracebuf.t -> Report.t
+(** Shorthand for [(run trace).races]. *)

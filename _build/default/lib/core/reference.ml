@@ -1,0 +1,74 @@
+let all_of tbl =
+  Hashtbl.fold (fun _ records acc -> records @ acc) tbl []
+
+(* Records are registered once per touched word; deduplicate by unique id
+   so each logical record is considered once. *)
+let unique_by key records =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun r ->
+      let k = key r in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    records
+
+let analyse (c : Collector.result) =
+  let tables = c.Collector.tables in
+  let stores =
+    unique_by
+      (fun (w : Access.window) -> w.Access.w_id)
+      (all_of c.Collector.windows_by_word)
+  in
+  let loads =
+    unique_by
+      (fun (l : Access.load) -> l.Access.l_id)
+      (all_of c.Collector.loads_by_word)
+  in
+  let vec id = Access.Vc_table.get tables.Access.vc id in
+  let ls id = Access.Ls_table.get tables.Access.ls id in
+  let report = ref Report.empty in
+  (* foreach StoreData st ∈ stores do (line 13) *)
+  List.iter
+    (fun (st : Access.window) ->
+      (* foreach LoadData ld ∈ loads (line 14) *)
+      List.iter
+        (fun (ld : Access.load) ->
+          let same_addr (* line 15, with access sizes *) =
+            Pmem.Layout.ranges_overlap st.Access.w_addr st.Access.w_size
+              ld.Access.l_addr ld.Access.l_size
+          in
+          let different_tid (* line 16 *) = st.Access.w_tid <> ld.Access.l_tid in
+          let concurrent (* line 17: st.vec || ld.vec over the window *) =
+            (not (Vclock.leq (vec ld.Access.l_vec) (vec st.Access.w_store_vec)))
+            &&
+            match st.Access.w_end_vec with
+            | None -> true
+            | Some e -> not (Vclock.leq (vec e) (vec ld.Access.l_vec))
+          in
+          if same_addr && different_tid && concurrent then
+            (* line 18: st.effective_set ∩ ld.set = ∅ *)
+            if Lockset.disjoint_locks (ls st.Access.w_eff) (ls ld.Access.l_ls)
+            then
+              (* line 19: report (st, ld) *)
+              report :=
+                Report.add !report ~store_site:st.Access.w_site
+                  ~load_site:ld.Access.l_site ~store_tid:st.Access.w_tid
+                  ~load_tid:ld.Access.l_tid
+                  ~addr:(max st.Access.w_addr ld.Access.l_addr)
+                  ~window_end:st.Access.w_end)
+        loads)
+    stores;
+  !report
+
+let locs report =
+  List.sort_uniq compare
+    (List.map
+       (fun (r : Report.race) ->
+         ( Trace.Site.location r.Report.store_site,
+           Trace.Site.location r.Report.load_site ))
+       (Report.sorted report))
+
+let same_races a b = locs a = locs b

@@ -1,0 +1,16 @@
+(** Algorithm 1, literally.
+
+    A deliberately naive transcription of the paper's PM-Aware Lockset
+    Analysis pseudocode: every store window is paired with every load —
+    no grouping by word, no canonical-word shortcut, no memoization, no
+    interned-id comparisons. Quadratic and slow, but it is short enough
+    to audit against the paper line by line, which makes it the oracle
+    for the property test that the optimized {!Analysis} computes exactly
+    the same race set on arbitrary traces. *)
+
+val analyse : Collector.result -> Report.t
+(** Same inputs and report semantics as {!Analysis.analyse} with
+    {!Analysis.all_features}. *)
+
+val same_races : Report.t -> Report.t -> bool
+(** Equality of the reported (store location, load location) sets. *)

@@ -1,0 +1,119 @@
+type race = {
+  store_site : Trace.Site.t;
+  load_site : Trace.Site.t;
+  store_tid : int;
+  load_tid : int;
+  addr : int;
+  window_end : Access.end_kind;
+  occurrences : int;
+}
+
+type t = race list
+
+let empty = []
+
+let same_pair r ~store_site ~load_site =
+  String.equal (Trace.Site.location r.store_site) (Trace.Site.location store_site)
+  && String.equal (Trace.Site.location r.load_site) (Trace.Site.location load_site)
+
+let add t ~store_site ~load_site ~store_tid ~load_tid ~addr ~window_end =
+  let rec go acc = function
+    | [] ->
+        List.rev
+          ({ store_site; load_site; store_tid; load_tid; addr; window_end;
+             occurrences = 1 }
+          :: acc)
+    | r :: rest when same_pair r ~store_site ~load_site ->
+        List.rev_append acc ({ r with occurrences = r.occurrences + 1 } :: rest)
+    | r :: rest -> go (r :: acc) rest
+  in
+  go [] t
+
+let count = List.length
+
+let sorted t =
+  List.sort
+    (fun a b ->
+      let c =
+        String.compare
+          (Trace.Site.location a.store_site)
+          (Trace.Site.location b.store_site)
+      in
+      if c <> 0 then c
+      else
+        String.compare
+          (Trace.Site.location a.load_site)
+          (Trace.Site.location b.load_site))
+    t
+
+let mem t ~store_loc ~load_loc =
+  List.exists
+    (fun r ->
+      String.equal (Trace.Site.location r.store_site) store_loc
+      && String.equal (Trace.Site.location r.load_site) load_loc)
+    t
+
+let end_kind_str = function
+  | Access.Persisted_same_thread -> "persist outside atomic section"
+  | Access.Persisted_other_thread -> "persisted by another thread"
+  | Access.Overwritten_same_thread -> "overwritten before persist"
+  | Access.Overwritten_other_thread -> "overwritten by another thread"
+  | Access.Open_at_exit -> "never persisted"
+
+let pp_race ppf r =
+  Format.fprintf ppf
+    "@[<v 2>persistency-induced race (%s, %d occurrence%s):@,\
+     store T%d @ %a@,load  T%d @ %a@]"
+    (end_kind_str r.window_end) r.occurrences
+    (if r.occurrences = 1 then "" else "s")
+    r.store_tid Trace.Site.pp_backtrace r.store_site r.load_tid
+    Trace.Site.pp_backtrace r.load_site
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let site_json (s : Trace.Site.t) =
+  Printf.sprintf {|{"file":"%s","line":%d,"frames":[%s]}|}
+    (json_escape s.Trace.Site.file)
+    s.Trace.Site.line
+    (String.concat ","
+       (List.map (fun f -> "\"" ^ json_escape f ^ "\"") s.Trace.Site.frames))
+
+let end_kind_json = function
+  | Access.Persisted_same_thread -> "persisted_same_thread"
+  | Access.Persisted_other_thread -> "persisted_other_thread"
+  | Access.Overwritten_same_thread -> "overwritten_same_thread"
+  | Access.Overwritten_other_thread -> "overwritten_other_thread"
+  | Access.Open_at_exit -> "never_persisted"
+
+let to_json t =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             {|{"store":%s,"load":%s,"store_tid":%d,"load_tid":%d,"addr":%d,"window_end":"%s","occurrences":%d}|}
+             (site_json r.store_site) (site_json r.load_site) r.store_tid
+             r.load_tid r.addr (end_kind_json r.window_end) r.occurrences)
+         (sorted t))
+  ^ "]"
+
+let pp ppf t =
+  match sorted t with
+  | [] -> Format.fprintf ppf "no persistency-induced races detected"
+  | races ->
+      Format.fprintf ppf "@[<v>%a@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_race)
+        races

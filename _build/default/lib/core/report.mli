@@ -1,0 +1,53 @@
+(** Persistency-induced race reports.
+
+    A report identifies a (store, load) pair of PM sites that can execute
+    concurrently with the stored value not guaranteed persisted at load
+    time (Definition 1). Reports are aggregated by site pair — the same
+    granularity as Table 2 — with occurrence counts and backtraces. *)
+
+type race = {
+  store_site : Trace.Site.t;
+  load_site : Trace.Site.t;
+  store_tid : int;  (** Thread ids of one witnessing pair. *)
+  load_tid : int;
+  addr : int;  (** Address of one witnessing pair. *)
+  window_end : Access.end_kind;
+      (** How the witnessing store's window ended — [Open_at_exit] means a
+          missing persist, the others a persist/overwrite outside the
+          common atomic section. *)
+  occurrences : int;  (** Distinct witnessing pairs merged into this report. *)
+}
+
+type t = race list
+
+val empty : t
+
+val add :
+  t ->
+  store_site:Trace.Site.t ->
+  load_site:Trace.Site.t ->
+  store_tid:int ->
+  load_tid:int ->
+  addr:int ->
+  window_end:Access.end_kind ->
+  t
+(** Adds a witnessing pair, merging with an existing report for the same
+    (store location, load location). *)
+
+val count : t -> int
+(** Number of distinct site-pair reports. *)
+
+val sorted : t -> race list
+(** Reports ordered by store location then load location. *)
+
+val mem : t -> store_loc:string -> load_loc:string -> bool
+(** Does the report set contain this ["file:line"] pair? Used to match
+    against the ground-truth bug registry. *)
+
+val pp_race : Format.formatter -> race -> unit
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** Machine-readable reports: a JSON array of objects with
+    [store]/[load] site objects ([file], [line], [frames]), thread ids,
+    an example address, the window-end kind and the occurrence count. *)

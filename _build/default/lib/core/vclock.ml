@@ -1,0 +1,46 @@
+type t = int array
+(* Canonical form: no trailing zeros. *)
+
+let zero = [||]
+
+let canonical a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let get t i = if i < Array.length t then t.(i) else 0
+
+let tick t i =
+  let n = max (Array.length t) (i + 1) in
+  let out = Array.make n 0 in
+  Array.blit t 0 out 0 (Array.length t);
+  out.(i) <- out.(i) + 1;
+  out
+
+let merge a b =
+  let n = max (Array.length a) (Array.length b) in
+  canonical (Array.init n (fun i -> max (get a i) (get b i)))
+
+let leq a b =
+  let n = max (Array.length a) (Array.length b) in
+  let rec go i = i >= n || (get a i <= get b i && go (i + 1)) in
+  go 0
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+let hash t = Array.fold_left (fun acc c -> (acc * 31) + c) 7 t
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_list t)

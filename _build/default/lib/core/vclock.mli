@@ -1,0 +1,36 @@
+(** Vector clocks for the inter-thread happens-before analysis (§3.1.2).
+
+    One logical counter per thread. The runtime trace orders operations
+    through thread creation and joining; the collector maintains each
+    thread's clock and stamps PM accesses with it. Two operations are
+    concurrent when their clocks are incomparable — only such pairs reach
+    the lockset analysis, which removes the Figure 3 class of false
+    positives.
+
+    Clocks are immutable and canonical (no trailing zeros), so they can be
+    interned and compared by id. *)
+
+type t
+
+val zero : t
+
+val get : t -> int -> int
+(** [get v i] is thread [i]'s counter (0 when beyond the clock's width). *)
+
+val tick : t -> int -> t
+(** [tick v i] increments thread [i]'s counter. *)
+
+val merge : t -> t -> t
+(** Pointwise maximum — the join performed by thread join. *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=]: [leq a b] means the operation stamped [a]
+    happened-before (or equals) the one stamped [b]. *)
+
+val concurrent : t -> t -> bool
+(** Incomparable under {!leq}: there are indexes [i], [j] with
+    [a.(i) < b.(i)] and [a.(j) > b.(j)] — the paper's concurrency test. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

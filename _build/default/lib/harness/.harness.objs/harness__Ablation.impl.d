@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Hawkset List Machine Pmapps Printf Tables

@@ -1,0 +1,1 @@
+lib/harness/figure6.ml: Hawkset List Machine Metrics Pmapps Printf Tables Trace

@@ -1,0 +1,1 @@
+lib/harness/table2.ml: Filename Hawkset List Machine Pmapps Printf Tables

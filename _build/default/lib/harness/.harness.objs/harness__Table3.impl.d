@@ -1,0 +1,1 @@
+lib/harness/table3.ml: Array Baselines Hawkset List Machine Metrics Pmapps Printf Tables Workload

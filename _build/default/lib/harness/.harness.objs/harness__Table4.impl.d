@@ -1,0 +1,1 @@
+lib/harness/table4.ml: Hawkset List Machine Pmapps Printf Tables

@@ -1,0 +1,1 @@
+lib/harness/tables.ml: List Printf String

@@ -1,0 +1,85 @@
+type point = {
+  app : string;
+  ops : int;
+  events : int;
+  exec_seconds : float;
+  analysis_seconds : float;
+  memory_mb : float;
+  races : int;
+}
+
+type result = { points : point list }
+
+let run ?(sizes = [ 1_000; 10_000; 100_000 ]) ?(seed = 42) () =
+  let points = ref [] in
+  List.iter
+    (fun (e : Pmapps.Registry.entry) ->
+      List.iter
+        (fun ops ->
+          let ops = Pmapps.Registry.clamp_ops e ops in
+          (* Skip duplicate clamped sizes (P-ART). *)
+          if
+            not
+              (List.exists
+                 (fun p -> p.app = e.Pmapps.Registry.reg_name && p.ops = ops)
+                 !points)
+          then begin
+            let report, exec_seconds =
+              Metrics.timed (fun () -> e.Pmapps.Registry.run ~seed ~ops ())
+            in
+            let res, analysis_seconds =
+              Metrics.timed (fun () ->
+                  Hawkset.Pipeline.run report.Machine.Sched.trace)
+            in
+            let memory_mb = Metrics.live_mb () in
+            points :=
+              {
+                app = e.Pmapps.Registry.reg_name;
+                ops;
+                events = Trace.Tracebuf.length report.Machine.Sched.trace;
+                exec_seconds;
+                analysis_seconds;
+                memory_mb;
+                races = Hawkset.Report.count res.Hawkset.Pipeline.races;
+              }
+              :: !points
+          end)
+        (List.sort_uniq compare sizes))
+    Pmapps.Registry.all;
+  { points = List.rev !points }
+
+let to_string r =
+  Tables.section "Figure 6: testing time and peak memory vs workload size"
+  ^ Tables.render
+      ~headers:
+        [ "Application"; "Ops"; "Events"; "Exec (s)"; "Analysis (s)";
+          "Memory (MB)"; "Races" ]
+      ~rows:
+        (List.map
+           (fun p ->
+             [
+               p.app;
+               string_of_int p.ops;
+               string_of_int p.events;
+               Printf.sprintf "%.3f" p.exec_seconds;
+               Printf.sprintf "%.3f" p.analysis_seconds;
+               Printf.sprintf "%.1f" p.memory_mb;
+               string_of_int p.races;
+             ])
+           r.points)
+
+let sublinear r ~app =
+  let ps =
+    List.sort
+      (fun a b -> compare a.ops b.ops)
+      (List.filter (fun p -> p.app = app) r.points)
+  in
+  match (ps, List.rev ps) with
+  | small :: _, big :: _ when small.ops < big.ops ->
+      let workload_factor = float_of_int big.ops /. float_of_int small.ops in
+      let time_factor =
+        (big.exec_seconds +. big.analysis_seconds)
+        /. max 1e-6 (small.exec_seconds +. small.analysis_seconds)
+      in
+      time_factor < workload_factor *. 1.5
+  | _ -> true

@@ -1,0 +1,32 @@
+(** Figure 6: HawkSet's testing time (6a) and peak memory (6b) across all
+    applications and workload sizes.
+
+    For each application and each size the harness executes the workload,
+    runs the full pipeline and records the analysis wall-clock time and a
+    live-heap proxy for peak bookkeeping memory. The paper's claim is
+    sublinear growth with workload size (both axes logarithmic); the
+    series printed here regenerate those curves. *)
+
+type point = {
+  app : string;
+  ops : int;
+  events : int;  (** Trace length — the analysis input size. *)
+  exec_seconds : float;  (** Running the instrumented application. *)
+  analysis_seconds : float;  (** Stages 1-3. *)
+  memory_mb : float;
+  races : int;
+}
+
+type result = { points : point list }
+
+val run : ?sizes:int list -> ?seed:int -> unit -> result
+(** Default sizes: [[1_000; 10_000; 100_000]] scaled down by nothing —
+    pass smaller sizes for quick runs. P-ART is clamped to 1k like the
+    paper. *)
+
+val to_string : result -> string
+
+val sublinear : result -> app:string -> bool
+(** [true] when, for [app], time grows by a smaller factor than the
+    workload between the smallest and largest size — the Figure 6a
+    claim. *)

@@ -1,0 +1,30 @@
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let live_mb () =
+  Gc.full_major ();
+  let s = Gc.stat () in
+  float_of_int s.Gc.live_words *. float_of_int (Sys.word_size / 8)
+  /. (1024.0 *. 1024.0)
+
+let avg_time_to_race ~t ~found ~missed =
+  if found <= 0 then None
+  else Some (t *. ((float_of_int missed /. 2.0) +. 1.0))
+
+let avg_time_to_race_binomial ~t ~found ~missed =
+  if found <= 0 then None
+  else begin
+    (* sum_i C(E,i) * S * T * (i+1) / sum_i C(E,i) * S, with the weights
+       kept normalized to avoid overflow: w_i = C(E,i) / 2^E. *)
+    let e = missed in
+    let num = ref 0.0 and den = ref 0.0 in
+    let w = ref (exp (-.float_of_int e *. log 2.0)) in
+    for i = 0 to e do
+      num := !num +. (!w *. float_of_int (i + 1));
+      den := !den +. !w;
+      if i < e then w := !w *. float_of_int (e - i) /. float_of_int (i + 1)
+    done;
+    Some (t *. !num /. !den)
+  end

@@ -1,0 +1,21 @@
+(** Measurement helpers for the efficiency evaluation (Figure 6). *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** Result and wall-clock seconds. *)
+
+val live_mb : unit -> float
+(** Live heap megabytes after a minor+major collection — the
+    peak-bookkeeping proxy used for Figure 6b (the trace, access records
+    and interning tables are all live at the end of an analysis). *)
+
+val avg_time_to_race : t:float -> found:int -> missed:int -> float option
+(** The §5.2 metric: expected time to find a race when workloads are
+    drawn at random without replacement, given the per-workload time [t],
+    the number of workloads where the tool finds the race ([found]) and
+    where it does not ([missed]). Closed form [t * (missed/2 + 1)]
+    (the paper's binomial sum reduces to it); [None] when [found = 0]
+    (the race is never found — the paper prints ∞). *)
+
+val avg_time_to_race_binomial : t:float -> found:int -> missed:int -> float option
+(** The paper's formula evaluated literally (normalized binomial
+    weights), used to cross-check the closed form in tests. *)

@@ -1,0 +1,17 @@
+let to_string () =
+  Tables.section "Table 1: PM applications tested"
+  ^ Tables.render
+      ~headers:
+        [ "Application"; "Synchronization Method"; "Custom sync config";
+          "Ground-truth bugs" ]
+      ~rows:
+        (List.map
+           (fun (e : Pmapps.Registry.entry) ->
+             [
+               e.Pmapps.Registry.reg_name;
+               e.Pmapps.Registry.sync_method;
+               (if e.Pmapps.Registry.needs_sync_config then "yes (sec 5.5)"
+                else "no");
+               string_of_int (List.length e.Pmapps.Registry.bugs);
+             ])
+           Pmapps.Registry.all)

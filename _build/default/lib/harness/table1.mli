@@ -1,0 +1,8 @@
+(** Table 1: the evaluated PM applications.
+
+    Regenerated from the registry: name, synchronization method, and
+    whether analysing the app needed a custom-primitive configuration
+    entry (the "Supported by" columns are replaced by the ground-truth
+    bug count, since both comparison tools are reproduced in-repo). *)
+
+val to_string : unit -> string

@@ -1,0 +1,31 @@
+(** Table 2: persistency-induced races detected using HawkSet.
+
+    Runs every registered application under its §5 workload, analyses the
+    trace with the full pipeline, and matches the reports against the
+    ground-truth registry. The printed table mirrors the paper's columns:
+    application, race number, new?, store/load sites, description — plus
+    a "Detected" column (the artifact's E1 prints detection rather than
+    re-deriving the original line numbers, §A.4.1 C1). *)
+
+type row = {
+  app : string;
+  bug_id : int;
+  is_new : bool;
+  store_locs : string list;
+  load_locs : string list;
+  desc : string;
+  detected : bool;
+}
+
+type result = {
+  rows : row list;
+  total_races_reported : int;  (** Distinct site pairs across all apps. *)
+}
+
+val run : ?sizes:int list -> ?seed:int -> unit -> result
+(** [sizes] are the main-phase sizes analysed per application (default
+    [[1000; 10000]]; the paper also runs 100k); detections are the union
+    across sizes, like the artifact's E1. P-ART is clamped to 1k. *)
+
+val detected_count : result -> int
+val to_string : result -> string

@@ -1,0 +1,42 @@
+(** Table 3: HawkSet vs PMRace on Fast-Fair.
+
+    For each seed workload both tools hunt Fast-Fair's two sibling-pointer
+    bugs:
+    - HawkSet runs the workload {e once} and analyses the trace;
+    - the PMRace baseline fuzzes (mutation + delay injection) and must
+      directly observe the race, within a per-seed execution budget
+      standing in for the paper's 600-second cap (documented in
+      EXPERIMENTS.md).
+
+    The table reports, per bug and tool: racy workloads out of the seed
+    count, average time per workload, and the §5.2 average time to race
+    ([t * (missed/2 + 1)], ∞ when never found), plus the resulting
+    speedup — the paper's headline is 159×. *)
+
+type tool_row = {
+  tool : string;
+  bug_id : int;
+  seeds : int;
+  racy : int;  (** Workloads where the tool found/observed the bug. *)
+  avg_seconds_per_workload : float;
+  avg_time_to_race : float option;  (** [None] = ∞. *)
+}
+
+type result = {
+  rows : tool_row list;
+  speedup : float option;
+      (** PMRace's avg time to race over HawkSet's, for bug #1. *)
+}
+
+val run :
+  ?seeds:int ->
+  ?ops_per_seed:int ->
+  ?pmrace_executions:int ->
+  ?base_seed:int ->
+  unit ->
+  result
+(** Defaults: 24 seeds of 400 ops, 12 fuzzing executions per seed — a
+    scaled-down version of the paper's 240 seeds × 600 s; pass
+    [~seeds:240] for the full experiment. *)
+
+val to_string : result -> string

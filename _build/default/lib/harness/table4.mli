@@ -1,0 +1,31 @@
+(** Table 4: breakdown of reports and the Initialization Removal
+    Heuristic's impact.
+
+    Every application is analysed twice — IRH on and IRH off. The
+    "Manual" columns classify the IRH-off reports against the ground
+    truth (Malign / Benign / False Positive, §3.3); the "Automatic"
+    columns give the report counts after the IRH and without it, like the
+    paper's table. The paper's headline checks hold programmatically: the
+    IRH never removes a malign race, and removes only false positives. *)
+
+type row = {
+  app : string;
+  malign : int;
+  benign : int;
+  false_positives : int;  (** Manual classification of IRH-off reports. *)
+  after_irh : int;
+  reported_races : int;  (** Without the IRH. *)
+  malign_after_irh : int;
+      (** Ground-truth bugs still detected with the IRH on. *)
+  bugs_without_irh : int;  (** Ground-truth bugs detected with it off. *)
+}
+
+type result = { rows : row list }
+
+val run : ?ops:int -> ?seed:int -> unit -> result
+
+val irh_never_drops_malign : result -> bool
+(** The §5.4 claim at bug granularity: every bug detectable without the
+    IRH remains detected with it. *)
+
+val to_string : result -> string

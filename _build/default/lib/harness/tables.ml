@@ -1,0 +1,25 @@
+let render ~headers ~rows =
+  let ncols = List.length headers in
+  let pad row = row @ List.init (max 0 (ncols - List.length row)) (fun _ -> "") in
+  let rows = List.map pad rows in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row i)))
+      (String.length (List.nth headers i))
+      rows
+  in
+  let widths = List.init ncols width in
+  let line cells =
+    String.concat "  "
+      (List.map2
+         (fun cell w -> cell ^ String.make (w - String.length cell) ' ')
+         cells widths)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line headers :: sep :: List.map line rows) ^ "\n"
+
+let section title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.sprintf "\n%s\n==  %s  ==\n%s\n" bar title bar

@@ -1,0 +1,8 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+val render : headers:string list -> rows:string list list -> string
+(** Column-aligned ASCII table with a header separator. Rows shorter than
+    the header are padded with empty cells. *)
+
+val section : string -> string
+(** A titled separator line. *)

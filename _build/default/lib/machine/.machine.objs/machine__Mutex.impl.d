@@ -1,0 +1,1 @@
+lib/machine/mutex.ml: Fun List Sched Trace

@@ -1,0 +1,1 @@
+lib/machine/mutex.mli: Sched Trace

@@ -1,0 +1,1 @@
+lib/machine/prng.ml: Int64

@@ -1,0 +1,1 @@
+lib/machine/rwlock.ml: Fun List Sched Trace

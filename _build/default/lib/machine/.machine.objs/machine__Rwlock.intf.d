@@ -1,0 +1,1 @@
+lib/machine/rwlock.mli: Sched Trace

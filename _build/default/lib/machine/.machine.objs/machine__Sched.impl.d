@@ -1,0 +1,1 @@
+lib/machine/sched.ml: Array Bytes Effect Fun Hashtbl Int64 List Pmem Printf Prng String Sync_config Trace

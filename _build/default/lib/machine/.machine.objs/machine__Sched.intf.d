@@ -1,0 +1,1 @@
+lib/machine/sched.mli: Pmem Prng Sync_config Trace

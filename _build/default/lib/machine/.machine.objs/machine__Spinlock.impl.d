@@ -1,0 +1,1 @@
+lib/machine/spinlock.ml: Fun Sched Trace

@@ -1,0 +1,1 @@
+lib/machine/spinlock.mli: Sched Trace

@@ -1,0 +1,1 @@
+lib/machine/sync_config.ml: List Map Printf String

@@ -1,0 +1,1 @@
+lib/machine/sync_config.mli:

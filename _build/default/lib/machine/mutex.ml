@@ -1,0 +1,49 @@
+type t = {
+  lock_id : Trace.Lock_id.t;
+  primitive : string;
+  mutable owner : Trace.Tid.t option;
+  mutable waiters : Trace.Tid.t list;
+}
+
+let create ?(primitive = "pthread_mutex") ctx =
+  { lock_id = Sched.fresh_lock_id ctx; primitive; owner = None; waiters = [] }
+
+let id t = t.lock_id
+
+let lock t ctx pos =
+  let me = Sched.tid ctx in
+  (match t.owner with
+  | Some o when Trace.Tid.equal o me ->
+      failwith "Mutex.lock: relock by owner (mutex is not reentrant)"
+  | Some _ | None -> ());
+  while t.owner <> None do
+    t.waiters <- me :: t.waiters;
+    Sched.park ctx
+  done;
+  t.owner <- Some me;
+  Sched.emit_acquire ctx pos ~primitive:t.primitive t.lock_id
+
+let try_lock t ctx pos =
+  match t.owner with
+  | Some _ -> false
+  | None ->
+      t.owner <- Some (Sched.tid ctx);
+      Sched.emit_acquire ctx pos ~primitive:t.primitive t.lock_id;
+      true
+
+let unlock t ctx pos =
+  let me = Sched.tid ctx in
+  (match t.owner with
+  | Some o when Trace.Tid.equal o me -> ()
+  | Some _ | None -> failwith "Mutex.unlock: caller does not hold the mutex");
+  Sched.emit_release ctx pos ~primitive:t.primitive t.lock_id;
+  t.owner <- None;
+  (* Wake every waiter: they race to retake the lock, losers re-park. *)
+  let ws = t.waiters in
+  t.waiters <- [];
+  List.iter (Sched.unpark ctx) ws;
+  Sched.yield ctx
+
+let with_lock t ctx pos f =
+  lock t ctx pos;
+  Fun.protect ~finally:(fun () -> unlock t ctx pos) f

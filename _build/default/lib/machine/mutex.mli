@@ -1,0 +1,27 @@
+(** Blocking mutual-exclusion lock (the pthread_mutex model).
+
+    Lock and unlock emit [Lock_acquire]/[Lock_release] events when the
+    primitive name is instrumented by the machine's {!Sync_config}
+    (["pthread_mutex"] by default, so mutexes are always visible unless a
+    test deliberately removes them from the configuration). *)
+
+type t
+
+val create : ?primitive:string -> Sched.ctx -> t
+(** [create ctx] makes a fresh unlocked mutex. [primitive] defaults to
+    ["pthread_mutex"]. *)
+
+val lock : t -> Sched.ctx -> Sched.pos -> unit
+(** Blocks until the mutex is available. Not reentrant: raises [Failure]
+    on relock by the owner. *)
+
+val try_lock : t -> Sched.ctx -> Sched.pos -> bool
+(** Non-blocking acquire; [true] when the lock was taken (the
+    pthread_mutex_trylock model: the acquire event is emitted only on
+    success, §4). *)
+
+val unlock : t -> Sched.ctx -> Sched.pos -> unit
+(** Raises [Failure] when the caller does not hold the mutex. *)
+
+val with_lock : t -> Sched.ctx -> Sched.pos -> (unit -> 'a) -> 'a
+val id : t -> Trace.Lock_id.t

@@ -1,0 +1,25 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Every source of nondeterminism in the runtime (scheduling choices,
+    delay injection) draws from one of these, so an execution is a pure
+    function of (program, workload, seed) and any reported race can be
+    replayed exactly. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** An independent generator derived from [t]'s stream. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    when [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool

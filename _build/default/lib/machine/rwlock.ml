@@ -1,0 +1,71 @@
+type t = {
+  lock_id : Trace.Lock_id.t;
+  primitive : string;
+  mutable readers : int;
+  mutable writer : Trace.Tid.t option;
+  mutable waiters : Trace.Tid.t list;
+}
+
+let create ?(primitive = "pthread_rwlock") ctx =
+  {
+    lock_id = Sched.fresh_lock_id ctx;
+    primitive;
+    readers = 0;
+    writer = None;
+    waiters = [];
+  }
+
+let id t = t.lock_id
+
+let wait t ctx =
+  t.waiters <- Sched.tid ctx :: t.waiters;
+  Sched.park ctx
+
+let wake_all t ctx =
+  let ws = t.waiters in
+  t.waiters <- [];
+  List.iter (Sched.unpark ctx) ws
+
+let read_lock t ctx pos =
+  while t.writer <> None do
+    wait t ctx
+  done;
+  t.readers <- t.readers + 1;
+  Sched.emit_acquire ctx pos ~primitive:t.primitive t.lock_id
+
+let read_unlock t ctx pos =
+  if t.readers <= 0 then failwith "Rwlock.read_unlock: no readers";
+  Sched.emit_release ctx pos ~primitive:t.primitive t.lock_id;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then wake_all t ctx;
+  Sched.yield ctx
+
+let write_lock t ctx pos =
+  let me = Sched.tid ctx in
+  (match t.writer with
+  | Some o when Trace.Tid.equal o me ->
+      failwith "Rwlock.write_lock: relock by owner"
+  | Some _ | None -> ());
+  while t.writer <> None || t.readers > 0 do
+    wait t ctx
+  done;
+  t.writer <- Some me;
+  Sched.emit_acquire ctx pos ~primitive:t.primitive t.lock_id
+
+let write_unlock t ctx pos =
+  let me = Sched.tid ctx in
+  (match t.writer with
+  | Some o when Trace.Tid.equal o me -> ()
+  | Some _ | None -> failwith "Rwlock.write_unlock: caller is not the writer");
+  Sched.emit_release ctx pos ~primitive:t.primitive t.lock_id;
+  t.writer <- None;
+  wake_all t ctx;
+  Sched.yield ctx
+
+let with_read t ctx pos f =
+  read_lock t ctx pos;
+  Fun.protect ~finally:(fun () -> read_unlock t ctx pos) f
+
+let with_write t ctx pos f =
+  write_lock t ctx pos;
+  Fun.protect ~finally:(fun () -> write_unlock t ctx pos) f

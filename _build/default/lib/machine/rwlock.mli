@@ -1,0 +1,20 @@
+(** Reader-writer lock (the pthread_rwlock model).
+
+    Read and write acquisitions share a single lock id: the PM-aware
+    lockset analysis only pairs stores with loads, so a reader and the
+    writer appearing to hold "the same lock" is precisely the exclusion
+    the id must express, while two concurrent readers are never compared
+    against each other. *)
+
+type t
+
+val create : ?primitive:string -> Sched.ctx -> t
+(** [primitive] defaults to ["pthread_rwlock"]. *)
+
+val read_lock : t -> Sched.ctx -> Sched.pos -> unit
+val read_unlock : t -> Sched.ctx -> Sched.pos -> unit
+val write_lock : t -> Sched.ctx -> Sched.pos -> unit
+val write_unlock : t -> Sched.ctx -> Sched.pos -> unit
+val with_read : t -> Sched.ctx -> Sched.pos -> (unit -> 'a) -> 'a
+val with_write : t -> Sched.ctx -> Sched.pos -> (unit -> 'a) -> 'a
+val id : t -> Trace.Lock_id.t

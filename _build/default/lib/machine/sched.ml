@@ -1,0 +1,504 @@
+type policy =
+  | Random_interleave
+  | Round_robin
+  | Delay_injection of { probability : float; duration : int }
+  | Targeted_delay of { store_loc : string; duration : int }
+  | Scripted of int array
+
+type outcome = Completed | Crashed
+
+type observation = {
+  obs_store_site : Trace.Site.t;
+  obs_load_site : Trace.Site.t;
+  obs_addr : int;
+}
+
+type report = {
+  outcome : outcome;
+  trace : Trace.Tracebuf.t;
+  event_count : int;
+  observations : observation list;
+  thread_count : int;
+}
+
+exception Deadlock of string
+
+type resume =
+  | Start of (unit -> unit)
+  | Resume of (unit, unit) Effect.Deep.continuation
+
+type thread = {
+  t_tid : int;
+  mutable cont : resume option;
+  mutable runnable : bool;
+  mutable finished : bool;
+  mutable delay : int;
+  mutable joiners : int list;
+  mutable frames : string list;
+}
+
+type t = {
+  heap : Pmem.Heap.t;
+  pm : Pmem.Region.t; (* which addresses are PM (mmap'ed PM files, §4) *)
+  mutable decisions : int; (* scheduling decisions taken (Scripted) *)
+  trace : Trace.Tracebuf.t;
+  policy : policy;
+  sync_config : Sync_config.t;
+  prng : Prng.t;
+  mutable threads : thread array;
+  mutable nthreads : int;
+  mutable last_scheduled : int;
+  mutable events : int;
+  crash_after : int option;
+  mutable crashed : bool;
+  mutable failure : exn option;
+  mutable next_lock_id : int;
+  observe : bool;
+  last_store : (int, Trace.Tid.t * Trace.Site.t) Hashtbl.t; (* word index *)
+  obs_seen : (string * string, unit) Hashtbl.t;
+  mutable observations : observation list;
+}
+
+type ctx = { m : t; self : thread }
+type pos = string * int * int * int
+
+type _ Effect.t +=
+  | Switch : unit Effect.t
+  | Park_self : unit Effect.t
+  | Crash_stop : unit Effect.t
+
+(* --- scheduler core ------------------------------------------------- *)
+
+let add_thread m thunk =
+  let th =
+    {
+      t_tid = m.nthreads;
+      cont = Some (Start thunk);
+      runnable = true;
+      finished = false;
+      delay = 0;
+      joiners = [];
+      frames = [];
+    }
+  in
+  if m.nthreads = Array.length m.threads then begin
+    let bigger = Array.make (2 * max 1 m.nthreads) th in
+    Array.blit m.threads 0 bigger 0 m.nthreads;
+    m.threads <- bigger
+  end;
+  m.threads.(m.nthreads) <- th;
+  m.nthreads <- m.nthreads + 1;
+  th
+
+let eligible m =
+  let out = ref [] in
+  for i = m.nthreads - 1 downto 0 do
+    let th = m.threads.(i) in
+    if th.runnable && (not th.finished) && th.cont <> None then
+      out := th :: !out
+  done;
+  !out
+
+let pick_next m =
+  match eligible m with
+  | [] -> None
+  | candidates -> (
+      (* Delay injection: delayed threads step their counter each round and
+         are skipped while other work exists. *)
+      let ready = List.filter (fun th -> th.delay = 0) candidates in
+      List.iter
+        (fun th -> if th.delay > 0 then th.delay <- th.delay - 1)
+        candidates;
+      let pool = if ready = [] then candidates else ready in
+      match m.policy with
+      | Round_robin -> (
+          (* Next runnable thread after the last scheduled, wrapping. *)
+          match List.filter (fun th -> th.t_tid > m.last_scheduled) pool with
+          | th :: _ -> Some th
+          | [] -> ( match pool with th :: _ -> Some th | [] -> None))
+      | Scripted choices ->
+          let i = m.decisions in
+          m.decisions <- i + 1;
+          let pick =
+            if i < Array.length choices then
+              choices.(i) mod List.length pool
+            else 0
+          in
+          Some (List.nth pool (abs pick))
+      | Random_interleave | Delay_injection _ | Targeted_delay _ ->
+          Some (List.nth pool (Prng.int m.prng (List.length pool))))
+
+let rec schedule m =
+  if m.crashed || m.failure <> None then begin
+    (* Drop every remaining fiber: a crash (or an application exception)
+       stops the machine; unresumed continuations are simply abandoned. *)
+    for i = 0 to m.nthreads - 1 do
+      let th = m.threads.(i) in
+      th.cont <- None;
+      th.finished <- true
+    done
+  end
+  else
+    match pick_next m with
+    | None -> ()
+    | Some th -> (
+        m.last_scheduled <- th.t_tid;
+        match th.cont with
+        | None -> assert false
+        | Some (Start thunk) ->
+            th.cont <- None;
+            exec_fiber m th thunk
+        | Some (Resume k) ->
+            th.cont <- None;
+            Effect.Deep.continue k ())
+
+and exec_fiber m th thunk =
+  let open Effect.Deep in
+  match_with thunk ()
+    {
+      retc =
+        (fun () ->
+          th.finished <- true;
+          th.cont <- None;
+          List.iter
+            (fun j ->
+              let waiter = m.threads.(j) in
+              waiter.runnable <- true)
+            th.joiners;
+          th.joiners <- [];
+          schedule m);
+      exnc =
+        (fun e ->
+          if m.failure = None then m.failure <- Some e;
+          th.finished <- true;
+          th.cont <- None;
+          schedule m);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Switch ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  th.cont <- Some (Resume k);
+                  th.runnable <- true;
+                  schedule m)
+          | Park_self ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  th.cont <- Some (Resume k);
+                  th.runnable <- false;
+                  schedule m)
+          | Crash_stop ->
+              Some
+                (fun (_k : (a, unit) continuation) ->
+                  m.crashed <- true;
+                  th.finished <- true;
+                  th.cont <- None;
+                  schedule m)
+          | _ -> None);
+    }
+
+(* --- instrumentation ------------------------------------------------ *)
+
+let sched_point _ctx = Effect.perform Switch
+
+let check_crash m =
+  match m.crash_after with
+  | Some budget when m.events >= budget -> Effect.perform Crash_stop
+  | Some _ | None -> ()
+
+let emit ctx ev =
+  Trace.Tracebuf.push ctx.m.trace ev;
+  ctx.m.events <- ctx.m.events + 1
+
+let site ctx ((file, line, _, _) : pos) =
+  Trace.Site.v ~frames:ctx.self.frames file line
+
+let tid ctx = Trace.Tid.of_int ctx.self.t_tid
+let heap ctx = ctx.m.heap
+let random ctx = ctx.m.prng
+let yield ctx = sched_point ctx
+
+let spawn ctx body =
+  check_crash ctx.m;
+  let m = ctx.m in
+  let child_slot = m.nthreads in
+  let rec th_ref = ref None
+  and thunk () =
+    match !th_ref with
+    | None -> assert false
+    | Some th -> body { m; self = th }
+  in
+  let th = add_thread m thunk in
+  th_ref := Some th;
+  assert (th.t_tid = child_slot);
+  emit ctx
+    (Trace.Event.Thread_create
+       { parent = tid ctx; child = Trace.Tid.of_int child_slot });
+  sched_point ctx;
+  Trace.Tid.of_int child_slot
+
+let join ctx target =
+  check_crash ctx.m;
+  let m = ctx.m in
+  let target_i = Trace.Tid.to_int target in
+  if target_i < 0 || target_i >= m.nthreads then
+    invalid_arg "Sched.join: unknown thread";
+  let target_th = m.threads.(target_i) in
+  while not target_th.finished do
+    target_th.joiners <- ctx.self.t_tid :: target_th.joiners;
+    Effect.perform Park_self
+  done;
+  emit ctx (Trace.Event.Thread_join { waiter = tid ctx; joined = target });
+  sched_point ctx
+
+let maybe_delay ctx st =
+  match ctx.m.policy with
+  | Delay_injection { probability; duration } ->
+      if Prng.float ctx.m.prng 1.0 < probability then
+        ctx.self.delay <- duration
+  | Targeted_delay { store_loc; duration } ->
+      if String.equal (Trace.Site.location st) store_loc then
+        ctx.self.delay <- duration
+  | Random_interleave | Round_robin | Scripted _ -> ()
+
+let record_store_words ctx ~addr ~size ~site:st =
+  if ctx.m.observe then
+    List.iter
+      (fun w -> Hashtbl.replace ctx.m.last_store w (tid ctx, st))
+      (Pmem.Layout.words_of_range addr size)
+
+let check_observation ctx ~addr ~size ~site:load_site =
+  if ctx.m.observe then
+    let me = tid ctx in
+    List.iter
+      (fun w ->
+        match Hashtbl.find_opt ctx.m.last_store w with
+        | Some (writer, store_site) when not (Trace.Tid.equal writer me) ->
+            if
+              not
+                (Pmem.Heap.persisted_range ctx.m.heap
+                   ~addr:(w * Pmem.Layout.word_size)
+                   ~size:Pmem.Layout.word_size)
+            then begin
+              let key =
+                (Trace.Site.location store_site, Trace.Site.location load_site)
+              in
+              if not (Hashtbl.mem ctx.m.obs_seen key) then begin
+                Hashtbl.add ctx.m.obs_seen key ();
+                ctx.m.observations <-
+                  {
+                    obs_store_site = store_site;
+                    obs_load_site = load_site;
+                    obs_addr = w * Pmem.Layout.word_size;
+                  }
+                  :: ctx.m.observations
+              end
+            end
+        | Some _ | None -> ())
+      (Pmem.Layout.words_of_range addr size)
+
+let do_store ctx p addr size ~non_temporal write =
+  check_crash ctx.m;
+  write ctx.m.heap;
+  if Pmem.Region.is_pm ctx.m.pm addr then begin
+    (* Only accesses inside registered PM regions are instrumented; the
+       rest is ordinary volatile memory the analysis never sees (§4). *)
+    let st = site ctx p in
+    Pmem.Heap.note_store ctx.m.heap ~tid:(tid ctx) ~addr ~size ~non_temporal;
+    record_store_words ctx ~addr ~size ~site:st;
+    emit ctx
+      (Trace.Event.Store { tid = tid ctx; addr; size; site = st; non_temporal });
+    maybe_delay ctx st
+  end;
+  sched_point ctx
+
+let do_load ctx p addr size read =
+  check_crash ctx.m;
+  let v = read ctx.m.heap in
+  if Pmem.Region.is_pm ctx.m.pm addr then begin
+    let st = site ctx p in
+    check_observation ctx ~addr ~size ~site:st;
+    emit ctx (Trace.Event.Load { tid = tid ctx; addr; size; site = st })
+  end;
+  sched_point ctx;
+  v
+
+let store_i64 ctx p addr v =
+  do_store ctx p addr 8 ~non_temporal:false (fun h ->
+      Pmem.Heap.write_i64 h addr v)
+
+let store_i64_nt ctx p addr v =
+  do_store ctx p addr 8 ~non_temporal:true (fun h ->
+      Pmem.Heap.write_i64 h addr v)
+
+let load_i64 ctx p addr =
+  do_load ctx p addr 8 (fun h -> Pmem.Heap.read_i64 h addr)
+
+let store_u8 ctx p addr v =
+  do_store ctx p addr 1 ~non_temporal:false (fun h ->
+      Pmem.Heap.write_u8 h addr v)
+
+let load_u8 ctx p addr =
+  do_load ctx p addr 1 (fun h -> Pmem.Heap.read_u8 h addr)
+
+let store_bytes ctx p addr b =
+  do_store ctx p addr (Bytes.length b) ~non_temporal:false (fun h ->
+      Pmem.Heap.write_bytes h addr b)
+
+let load_bytes ctx p addr len =
+  do_load ctx p addr len (fun h -> Pmem.Heap.read_bytes h addr len)
+
+let cas_i64 ctx p addr ~expected ~desired =
+  check_crash ctx.m;
+  let st = site ctx p in
+  check_observation ctx ~addr ~size:8 ~site:st;
+  let current = Pmem.Heap.read_i64 ctx.m.heap addr in
+  emit ctx (Trace.Event.Load { tid = tid ctx; addr; size = 8; site = st });
+  let success = Int64.equal current expected in
+  if success then begin
+    Pmem.Heap.write_i64 ctx.m.heap addr desired;
+    Pmem.Heap.note_store ctx.m.heap ~tid:(tid ctx) ~addr ~size:8
+      ~non_temporal:false;
+    record_store_words ctx ~addr ~size:8 ~site:st;
+    emit ctx
+      (Trace.Event.Store
+         { tid = tid ctx; addr; size = 8; site = st; non_temporal = false });
+    maybe_delay ctx st
+  end;
+  sched_point ctx;
+  success
+
+let flush_line ctx p addr =
+  check_crash ctx.m;
+  if Pmem.Region.is_pm ctx.m.pm addr then begin
+    let line = Pmem.Layout.line_of addr in
+    Pmem.Heap.flush ctx.m.heap ~tid:(tid ctx) ~line;
+    emit ctx
+      (Trace.Event.Flush
+         { tid = tid ctx; line; kind = Trace.Event.Clwb; site = site ctx p })
+  end;
+  sched_point ctx
+
+let flush_range ctx p addr size =
+  List.iter
+    (fun line -> flush_line ctx p line)
+    (Pmem.Layout.lines_of_range addr size)
+
+let fence ctx p =
+  check_crash ctx.m;
+  Pmem.Heap.fence ctx.m.heap ~tid:(tid ctx);
+  emit ctx (Trace.Event.Fence { tid = tid ctx; site = site ctx p });
+  sched_point ctx
+
+let persist ctx p addr size =
+  flush_range ctx p addr size;
+  fence ctx p
+
+let alloc ctx ?align n = Pmem.Heap.alloc ?align ctx.m.heap n
+let free ctx ~addr ~size = Pmem.Heap.free ctx.m.heap ~addr ~size
+
+let with_frame ctx name f =
+  ctx.self.frames <- name :: ctx.self.frames;
+  Fun.protect
+    ~finally:(fun () ->
+      match ctx.self.frames with
+      | _ :: rest -> ctx.self.frames <- rest
+      | [] -> ())
+    f
+
+let fresh_lock_id ctx =
+  let id = ctx.m.next_lock_id in
+  ctx.m.next_lock_id <- id + 1;
+  Trace.Lock_id.of_int id
+
+(* Acquire/release are scheduling points even for primitives the
+   configuration does not instrument: a real lock is a compiled function
+   whose execution the OS can preempt — without the yield, a releasing
+   thread could atomically re-acquire and starve everyone else. *)
+let emit_acquire ctx p ~primitive lock =
+  check_crash ctx.m;
+  if Sync_config.is_instrumented ctx.m.sync_config primitive then
+    emit ctx
+      (Trace.Event.Lock_acquire { tid = tid ctx; lock; site = site ctx p });
+  sched_point ctx
+
+(* Unlike acquisition, releasing must NOT yield between the event and the
+   state change: callers free the lock first and then call {!yield}
+   themselves, so the scheduler always sees a window in which the lock is
+   available — otherwise a tight lock/unlock loop starves every other
+   thread deterministically. *)
+let emit_release ctx p ~primitive lock =
+  check_crash ctx.m;
+  if Sync_config.is_instrumented ctx.m.sync_config primitive then
+    emit ctx
+      (Trace.Event.Lock_release { tid = tid ctx; lock; site = site ctx p })
+
+let park _ctx = Effect.perform Park_self
+
+let unpark ctx target =
+  let i = Trace.Tid.to_int target in
+  if i < 0 || i >= ctx.m.nthreads then invalid_arg "Sched.unpark";
+  ctx.m.threads.(i).runnable <- true
+
+(* --- entry point ----------------------------------------------------- *)
+
+let run ?(seed = 0) ?(policy = Random_interleave)
+    ?(sync_config = Sync_config.builtin) ?crash_after_events
+    ?(observe = false) ?pm_regions ~heap main =
+  let pm =
+    match pm_regions with
+    | Some r -> r
+    | None -> Pmem.Region.all_pm ~size:(Pmem.Heap.size heap)
+  in
+  let m =
+    {
+      heap;
+      pm;
+      decisions = 0;
+      trace = Trace.Tracebuf.create ~capacity:4096 ();
+      policy;
+      sync_config;
+      prng = Prng.create seed;
+      threads = [||];
+      nthreads = 0;
+      last_scheduled = -1;
+      events = 0;
+      crash_after = crash_after_events;
+      crashed = false;
+      failure = None;
+      next_lock_id = 0;
+      observe;
+      last_store = Hashtbl.create (if observe then 4096 else 1);
+      obs_seen = Hashtbl.create 64;
+      observations = [];
+    }
+  in
+  let rec main_ref = ref None
+  and thunk () =
+    match !main_ref with
+    | None -> assert false
+    | Some th -> main { m; self = th }
+  in
+  let th = add_thread m thunk in
+  main_ref := Some th;
+  schedule m;
+  (match m.failure with Some e -> raise e | None -> ());
+  if not m.crashed then begin
+    let stuck =
+      Array.to_list (Array.sub m.threads 0 m.nthreads)
+      |> List.filter (fun th -> not th.finished)
+    in
+    if stuck <> [] then
+      raise
+        (Deadlock
+           (String.concat ", "
+              (List.map (fun th -> Printf.sprintf "T%d" th.t_tid) stuck)))
+  end;
+  {
+    outcome = (if m.crashed then Crashed else Completed);
+    trace = m.trace;
+    event_count = m.events;
+    observations = List.rev m.observations;
+    thread_count = m.nthreads;
+  }

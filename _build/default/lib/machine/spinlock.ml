@@ -1,0 +1,36 @@
+type t = {
+  lock_id : Trace.Lock_id.t;
+  primitive : string;
+  mutable held_by : Trace.Tid.t option;
+}
+
+let create ~primitive ctx =
+  { lock_id = Sched.fresh_lock_id ctx; primitive; held_by = None }
+
+let id t = t.lock_id
+
+let try_lock t ctx pos =
+  match t.held_by with
+  | Some _ -> false
+  | None ->
+      t.held_by <- Some (Sched.tid ctx);
+      Sched.emit_acquire ctx pos ~primitive:t.primitive t.lock_id;
+      true
+
+let lock t ctx pos =
+  while not (try_lock t ctx pos) do
+    Sched.yield ctx
+  done
+
+let unlock t ctx pos =
+  let me = Sched.tid ctx in
+  (match t.held_by with
+  | Some o when Trace.Tid.equal o me -> ()
+  | Some _ | None -> failwith "Spinlock.unlock: caller does not hold the lock");
+  Sched.emit_release ctx pos ~primitive:t.primitive t.lock_id;
+  t.held_by <- None;
+  Sched.yield ctx
+
+let with_lock t ctx pos f =
+  lock t ctx pos;
+  Fun.protect ~finally:(fun () -> unlock t ctx pos) f

@@ -1,0 +1,22 @@
+(** CAS-based spinlock — the "custom concurrency control" case.
+
+    P-CLHT and APEX implement their concurrency control with bare CAS
+    instructions; to analyse them the paper wraps those CAS uses in
+    functions and lists the wrappers in a configuration file (§5.5).
+    This primitive models that situation: it works regardless, but its
+    acquire/release events are only emitted when its [primitive] name is
+    registered in the machine's {!Sync_config}. Running an application
+    that uses an unregistered spinlock therefore floods the analysis with
+    false races — the experiment behind the automation discussion. *)
+
+type t
+
+val create : primitive:string -> Sched.ctx -> t
+
+val lock : t -> Sched.ctx -> Sched.pos -> unit
+(** Spins (yielding to the scheduler) until the CAS succeeds. *)
+
+val try_lock : t -> Sched.ctx -> Sched.pos -> bool
+val unlock : t -> Sched.ctx -> Sched.pos -> unit
+val with_lock : t -> Sched.ctx -> Sched.pos -> (unit -> 'a) -> 'a
+val id : t -> Trace.Lock_id.t

@@ -1,0 +1,47 @@
+module Smap = Map.Make (String)
+
+type t = int Smap.t
+(* name -> trylock success value *)
+
+let empty = Smap.empty
+
+let builtin =
+  List.fold_left
+    (fun m name -> Smap.add name 0 m)
+    empty
+    [ "pthread_mutex"; "pthread_rwlock"; "pthread_spin"; "pmemobj_mutex" ]
+
+let register t ?(trylock_success = 0) name = Smap.add name trylock_success t
+let is_instrumented t name = Smap.mem name t
+let trylock_success t name = Smap.find_opt name t
+
+let of_string s =
+  let parse_line cfg line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun w -> w <> "")
+    with
+    | [] -> cfg
+    | [ "lock"; name ] -> register cfg name
+    | [ "trylock"; name; success ] -> (
+        match int_of_string_opt success with
+        | Some v -> register cfg ~trylock_success:v name
+        | None ->
+            failwith
+              (Printf.sprintf "Sync_config: bad success value %S" success))
+    | _ -> failwith (Printf.sprintf "Sync_config: malformed line %S" line)
+  in
+  List.fold_left parse_line builtin (String.split_on_char '\n' s)
+
+let of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  of_string contents
+
+let names t = List.map fst (Smap.bindings t)

@@ -1,0 +1,41 @@
+(** Synchronization-primitive configuration.
+
+    HawkSet instruments pthread primitives out of the box; applications
+    with custom concurrency control (TurboHash, P-ART) or CAS-wrapped
+    locking (P-CLHT, APEX) describe their primitives in a small
+    configuration file naming the functions with acquire-and-release
+    semantics and, for tentative acquires, the return value that signals
+    success (§4, §A.5). This module reproduces that mechanism: a primitive
+    whose name is not registered is {e not} instrumented, so its critical
+    sections are invisible to the analysis — exactly what happens when a
+    PIN tool does not know about a custom lock. *)
+
+type t
+
+val empty : t
+(** No custom primitives: only the built-ins are instrumented. *)
+
+val builtin : t
+(** The default configuration: pthread and libpmemobj primitive names
+    ([pthread_mutex], [pthread_rwlock], [pthread_spin],
+    [pmemobj_mutex]). *)
+
+val register : t -> ?trylock_success:int -> string -> t
+(** [register t name] returns a configuration that additionally
+    instruments the primitive called [name]. [trylock_success] is the
+    return value of the primitive's tentative acquire that indicates the
+    lock was taken (default [0], the pthread convention). *)
+
+val is_instrumented : t -> string -> bool
+val trylock_success : t -> string -> int option
+
+val of_string : string -> t
+(** Parses a configuration file's contents. Each non-empty, non-[#] line
+    has the form [lock NAME] or [trylock NAME SUCCESS]. The result extends
+    {!builtin}. Raises [Failure] on malformed lines. *)
+
+val of_file : string -> t
+(** [of_file path] is [of_string] of the file's contents. *)
+
+val names : t -> string list
+(** All instrumented primitive names, sorted. *)

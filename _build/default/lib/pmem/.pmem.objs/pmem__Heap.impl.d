@@ -1,0 +1,1 @@
+lib/pmem/heap.ml: Array Bytes Char Hashtbl Layout List Option Trace

@@ -1,0 +1,238 @@
+(* Per-line cache state. [writers.(i)] is 1 + tid of the thread whose store
+   last dirtied byte [i] of the line, or 0 when the byte is clean. [version]
+   counts stores to the line so that a fence can tell whether the flushed
+   snapshot still covers the latest data. *)
+type line_state = {
+  writers : int array;
+  mutable version : int;
+  mutable pending : pending_flush list;
+}
+
+and pending_flush = {
+  flusher : int;
+  snapshot : bytes;
+  flushed_version : int;
+}
+
+type nt_range = { nt_addr : int; nt_size : int }
+
+type t = {
+  heap_name : string;
+  heap_eadr : bool;
+  volatile : bytes;
+  persistent : bytes;
+  lines : (int, line_state) Hashtbl.t;
+  nt_pending : (int, nt_range list) Hashtbl.t; (* keyed by tid *)
+  mutable bump : int;
+  free_lists : (int, int list) Hashtbl.t; (* size -> freed addrs, LIFO *)
+}
+
+let create ?(name = "/mnt/pmem/pool") ?(eadr = false) ~size () =
+  {
+    heap_name = name;
+    heap_eadr = eadr;
+    volatile = Bytes.make size '\000';
+    persistent = Bytes.make size '\000';
+    lines = Hashtbl.create 1024;
+    nt_pending = Hashtbl.create 16;
+    bump = Layout.line_size (* keep address 0 unused as a null pointer *);
+    free_lists = Hashtbl.create 16;
+  }
+
+let size t = Bytes.length t.volatile
+let name t = t.heap_name
+let eadr t = t.heap_eadr
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let alloc ?(align = 8) t n =
+  if n <= 0 then invalid_arg "Heap.alloc: non-positive size";
+  if not (is_power_of_two align) then
+    invalid_arg "Heap.alloc: alignment must be a power of two";
+  match Hashtbl.find_opt t.free_lists n with
+  | Some (addr :: rest) ->
+      Hashtbl.replace t.free_lists n rest;
+      addr
+  | Some [] | None ->
+      let addr = (t.bump + align - 1) land lnot (align - 1) in
+      if addr + n > Bytes.length t.volatile then raise Out_of_memory;
+      t.bump <- addr + n;
+      addr
+
+let free t ~addr ~size =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.free_lists size) in
+  Hashtbl.replace t.free_lists size (addr :: prev)
+
+let allocated_bytes t = t.bump
+
+let read_i64 t addr = Bytes.get_int64_le t.volatile addr
+let write_i64 t addr v = Bytes.set_int64_le t.volatile addr v
+let read_u8 t addr = Char.code (Bytes.get t.volatile addr)
+let write_u8 t addr v = Bytes.set t.volatile addr (Char.chr (v land 0xff))
+let read_bytes t addr len = Bytes.sub t.volatile addr len
+let write_bytes t addr b = Bytes.blit b 0 t.volatile addr (Bytes.length b)
+
+let line_state t line_idx =
+  match Hashtbl.find_opt t.lines line_idx with
+  | Some s -> s
+  | None ->
+      let s =
+        { writers = Array.make Layout.line_size 0; version = 0; pending = [] }
+      in
+      Hashtbl.add t.lines line_idx s;
+      s
+
+let mark_dirty t ~tid ~addr ~size =
+  let mark = Trace.Tid.to_int tid + 1 in
+  let stop = addr + size in
+  let pos = ref addr in
+  while !pos < stop do
+    let line_idx = Layout.line_index !pos in
+    let s = line_state t line_idx in
+    s.version <- s.version + 1;
+    let line_base = line_idx * Layout.line_size in
+    let upto = min stop (line_base + Layout.line_size) in
+    for b = !pos - line_base to upto - line_base - 1 do
+      s.writers.(b) <- mark
+    done;
+    pos := upto
+  done
+
+let note_store t ~tid ~addr ~size ~non_temporal =
+  if t.heap_eadr then
+    (* The cache is part of the persistent domain: stores are durable on
+       visibility; nothing is ever dirty. *)
+    Bytes.blit t.volatile addr t.persistent addr size
+  else if non_temporal then begin
+    let key = Trace.Tid.to_int tid in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t.nt_pending key) in
+    Hashtbl.replace t.nt_pending key
+      ({ nt_addr = addr; nt_size = size } :: prev);
+    (* The data sits in the write-combining buffer: it is visible (we wrote
+       the volatile image) but not in cache; it persists at the next fence.
+       We still mark it dirty so that loads before the fence see it as
+       not-yet-guaranteed-persistent. *)
+    mark_dirty t ~tid ~addr ~size
+  end
+  else mark_dirty t ~tid ~addr ~size
+
+let dirty_conflict t ~tid ~addr ~size =
+  let me = Trace.Tid.to_int tid + 1 in
+  let stop = addr + size in
+  let rec scan pos =
+    if pos >= stop then None
+    else
+      let line_idx = Layout.line_index pos in
+      let line_base = line_idx * Layout.line_size in
+      let upto = min stop (line_base + Layout.line_size) in
+      match Hashtbl.find_opt t.lines line_idx with
+      | None -> scan upto
+      | Some s ->
+          let rec bytes b =
+            if b >= upto - line_base then scan upto
+            else
+              let w = s.writers.(b) in
+              if w <> 0 && w <> me then Some (Trace.Tid.of_int (w - 1))
+              else bytes (b + 1)
+          in
+          bytes (pos - line_base)
+  in
+  scan addr
+
+let flush t ~tid ~line =
+  if line land (Layout.line_size - 1) <> 0 then
+    invalid_arg "Heap.flush: address is not line-aligned";
+  let line_idx = Layout.line_index line in
+  match Hashtbl.find_opt t.lines line_idx with
+  | None -> () (* clean line: flushing is a no-op *)
+  | Some s ->
+      let snapshot = Bytes.sub t.volatile line Layout.line_size in
+      let p =
+        {
+          flusher = Trace.Tid.to_int tid;
+          snapshot;
+          flushed_version = s.version;
+        }
+      in
+      s.pending <- p :: s.pending
+
+let commit_line t line_idx s p =
+  let line_base = line_idx * Layout.line_size in
+  Bytes.blit p.snapshot 0 t.persistent line_base Layout.line_size;
+  if p.flushed_version = s.version then
+    (* No store hit the line after the flush: it is now fully clean. *)
+    Array.fill s.writers 0 Layout.line_size 0
+
+let fence t ~tid =
+  let me = Trace.Tid.to_int tid in
+  let completed = ref [] in
+  Hashtbl.iter
+    (fun line_idx s ->
+      let mine, rest = List.partition (fun p -> p.flusher = me) s.pending in
+      if mine <> [] then begin
+        s.pending <- rest;
+        (* Commit oldest first so the newest flushed snapshot wins. *)
+        List.iter (commit_line t line_idx s) (List.rev mine);
+        if Array.for_all (fun w -> w = 0) s.writers && rest = [] then
+          completed := line_idx :: !completed
+      end)
+    t.lines;
+  List.iter (Hashtbl.remove t.lines) !completed;
+  (match Hashtbl.find_opt t.nt_pending me with
+  | None -> ()
+  | Some ranges ->
+      Hashtbl.remove t.nt_pending me;
+      let commit { nt_addr; nt_size } =
+        Bytes.blit t.volatile nt_addr t.persistent nt_addr nt_size;
+        let stop = nt_addr + nt_size in
+        let pos = ref nt_addr in
+        while !pos < stop do
+          let line_idx = Layout.line_index !pos in
+          let line_base = line_idx * Layout.line_size in
+          let upto = min stop (line_base + Layout.line_size) in
+          (match Hashtbl.find_opt t.lines line_idx with
+          | None -> ()
+          | Some s ->
+              for b = !pos - line_base to upto - line_base - 1 do
+                if s.writers.(b) = me + 1 then s.writers.(b) <- 0
+              done;
+              if Array.for_all (fun w -> w = 0) s.writers && s.pending = []
+              then Hashtbl.remove t.lines line_idx);
+          pos := upto
+        done
+      in
+      List.iter commit (List.rev ranges))
+
+let persisted_range t ~addr ~size =
+  let stop = addr + size in
+  let rec scan pos =
+    if pos >= stop then true
+    else
+      let line_idx = Layout.line_index pos in
+      let line_base = line_idx * Layout.line_size in
+      let upto = min stop (line_base + Layout.line_size) in
+      match Hashtbl.find_opt t.lines line_idx with
+      | None -> scan upto
+      | Some s ->
+          let rec bytes b =
+            if b >= upto - line_base then scan upto
+            else if s.writers.(b) <> 0 then false
+            else bytes (b + 1)
+          in
+          bytes (pos - line_base)
+  in
+  scan addr
+
+let dirty_lines t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      if Array.exists (fun w -> w <> 0) s.writers then acc + 1 else acc)
+    t.lines 0
+
+let crash_image t = Bytes.copy t.persistent
+
+let of_image ?(name = "/mnt/pmem/pool") img =
+  let t = create ~name ~size:(Bytes.length img) () in
+  Bytes.blit img 0 t.volatile 0 (Bytes.length img);
+  Bytes.blit img 0 t.persistent 0 (Bytes.length img);
+  t

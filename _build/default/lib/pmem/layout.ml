@@ -1,0 +1,20 @@
+let line_size = 64
+let word_size = 8
+let line_of addr = addr land lnot (line_size - 1)
+let line_index addr = addr / line_size
+let word_index addr = addr / word_size
+
+let range_of ~unit_size addr size =
+  if size <= 0 then []
+  else
+    let first = addr / unit_size in
+    let last = (addr + size - 1) / unit_size in
+    List.init (last - first + 1) (fun i -> first + i)
+
+let lines_of_range addr size =
+  List.map (fun i -> i * line_size) (range_of ~unit_size:line_size addr size)
+
+let words_of_range addr size = range_of ~unit_size:word_size addr size
+
+let ranges_overlap a1 s1 a2 s2 =
+  s1 > 0 && s2 > 0 && a1 < a2 + s2 && a2 < a1 + s1

@@ -1,0 +1,35 @@
+(** Memory layout constants and address arithmetic.
+
+    PM persistence is managed at cache-line granularity (flush instructions
+    operate on whole lines); the Initialization Removal Heuristic and the
+    race matching operate on 8-byte words. *)
+
+val line_size : int
+(** Cache line size in bytes (64, as on all x86 implementations). *)
+
+val word_size : int
+(** Word granularity used by the analysis (8 bytes). *)
+
+val line_of : int -> int
+(** [line_of addr] is the line-aligned base address of [addr]. *)
+
+val line_index : int -> int
+(** [line_index addr] is [addr / line_size]. *)
+
+val word_index : int -> int
+(** [word_index addr] is [addr / word_size]. *)
+
+val lines_of_range : int -> int -> int list
+(** [lines_of_range addr size] lists the line-aligned base addresses of all
+    cache lines touched by the byte range [addr, addr+size). Empty when
+    [size <= 0]. *)
+
+val words_of_range : int -> int -> int list
+(** [words_of_range addr size] lists the word indexes touched by the byte
+    range; used by the IRH and by address matching. *)
+
+val ranges_overlap : int -> int -> int -> int -> bool
+(** [ranges_overlap a1 s1 a2 s2] is [true] when the byte ranges
+    [a1, a1+s1) and [a2, a2+s2) intersect. Partial overlaps count: the
+    paper's matching "takes into account the size of the PM access, and is
+    able to detect partially overlapping races" (§3.2). *)

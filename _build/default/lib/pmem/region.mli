@@ -1,0 +1,36 @@
+(** PM region registry — the [mmap]-of-PM-files model (§4, §A.5).
+
+    The paper's tool distinguishes PM accesses from ordinary memory
+    accesses by recording [mmap] calls on files under the PM mount point
+    (the [PM_MOUNT] environment variable) and comparing target addresses
+    against the recorded regions: "Make sure to set this variable such
+    that all PM, and only PM, is allocated from files in it" (§A.5).
+
+    This registry is that mechanism. The instrumented runtime consults it
+    on every access: addresses inside a registered region are traced and
+    cache-simulated; everything else is ordinary volatile memory and is
+    invisible to the analysis — which is also what makes lockset analysis
+    affordable, since PM is a small fraction of all accesses (§3.1,
+    WHISPER's ~4%). *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> name:string -> addr:int -> size:int -> unit
+(** Records an mmap'ed PM file. Raises [Invalid_argument] on a negative
+    range or an overlap with an existing region. *)
+
+val is_pm : t -> int -> bool
+(** Is this address inside some registered PM region? *)
+
+val find : t -> int -> (string * int * int) option
+(** [(name, base, size)] of the region containing the address. *)
+
+val regions : t -> (string * int * int) list
+(** All regions, sorted by base address. *)
+
+val all_pm : size:int -> t
+(** A registry covering one whole heap of [size] bytes — the default for
+    applications whose every tracked access is PM (this repository's
+    apps allocate volatile state as ordinary OCaml values). *)

@@ -1,0 +1,1 @@
+lib/trace/interner.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/trace/lock_id.ml: Format Int

@@ -1,0 +1,1 @@
+lib/trace/lock_id.mli: Format

@@ -1,0 +1,1 @@
+lib/trace/site.ml: Format Hashtbl Int List Printf String

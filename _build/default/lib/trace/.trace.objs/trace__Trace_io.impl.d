@@ -1,0 +1,1 @@
+lib/trace/trace_io.ml: Event Fun List Lock_id Printf Site String Tid Tracebuf

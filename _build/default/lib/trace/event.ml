@@ -1,0 +1,63 @@
+type flush_kind = Clwb | Clflushopt | Clflush
+
+type t =
+  | Store of {
+      tid : Tid.t;
+      addr : int;
+      size : int;
+      site : Site.t;
+      non_temporal : bool;
+    }
+  | Load of { tid : Tid.t; addr : int; size : int; site : Site.t }
+  | Flush of { tid : Tid.t; line : int; kind : flush_kind; site : Site.t }
+  | Fence of { tid : Tid.t; site : Site.t }
+  | Lock_acquire of { tid : Tid.t; lock : Lock_id.t; site : Site.t }
+  | Lock_release of { tid : Tid.t; lock : Lock_id.t; site : Site.t }
+  | Thread_create of { parent : Tid.t; child : Tid.t }
+  | Thread_join of { waiter : Tid.t; joined : Tid.t }
+
+let tid = function
+  | Store { tid; _ }
+  | Load { tid; _ }
+  | Flush { tid; _ }
+  | Fence { tid; _ }
+  | Lock_acquire { tid; _ }
+  | Lock_release { tid; _ } ->
+      tid
+  | Thread_create { parent; _ } -> parent
+  | Thread_join { waiter; _ } -> waiter
+
+let is_pm_access = function
+  | Store _ | Load _ -> true
+  | Flush _ | Fence _ | Lock_acquire _ | Lock_release _ | Thread_create _
+  | Thread_join _ ->
+      false
+
+let pp_flush_kind ppf = function
+  | Clwb -> Format.pp_print_string ppf "clwb"
+  | Clflushopt -> Format.pp_print_string ppf "clflushopt"
+  | Clflush -> Format.pp_print_string ppf "clflush"
+
+let pp ppf = function
+  | Store { tid; addr; size; site; non_temporal } ->
+      Format.fprintf ppf "%a store%s 0x%x+%d @ %a" Tid.pp tid
+        (if non_temporal then "(nt)" else "")
+        addr size Site.pp site
+  | Load { tid; addr; size; site } ->
+      Format.fprintf ppf "%a load 0x%x+%d @ %a" Tid.pp tid addr size Site.pp
+        site
+  | Flush { tid; line; kind; site } ->
+      Format.fprintf ppf "%a %a 0x%x @ %a" Tid.pp tid pp_flush_kind kind line
+        Site.pp site
+  | Fence { tid; site } ->
+      Format.fprintf ppf "%a sfence @ %a" Tid.pp tid Site.pp site
+  | Lock_acquire { tid; lock; site } ->
+      Format.fprintf ppf "%a acquire %a @ %a" Tid.pp tid Lock_id.pp lock
+        Site.pp site
+  | Lock_release { tid; lock; site } ->
+      Format.fprintf ppf "%a release %a @ %a" Tid.pp tid Lock_id.pp lock
+        Site.pp site
+  | Thread_create { parent; child } ->
+      Format.fprintf ppf "%a create %a" Tid.pp parent Tid.pp child
+  | Thread_join { waiter; joined } ->
+      Format.fprintf ppf "%a join %a" Tid.pp waiter Tid.pp joined

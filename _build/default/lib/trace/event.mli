@@ -1,0 +1,41 @@
+(** Trace events.
+
+    The instrumentation stage (stage 1 of the pipeline, Figure 4) reduces
+    an execution to a sequence of these events: PM accesses, persistency
+    instructions, synchronization primitives, and thread lifecycle
+    operations. This is exactly the information the paper's PIN tool
+    collects; every detector in this repository (HawkSet, Eraser, PMRace)
+    consumes or produces it. *)
+
+type flush_kind =
+  | Clwb  (** Cache-line write back: line stays in cache. *)
+  | Clflushopt  (** Optimized flush-and-invalidate. *)
+  | Clflush  (** Legacy ordered flush-and-invalidate. *)
+
+type t =
+  | Store of {
+      tid : Tid.t;
+      addr : int;
+      size : int;
+      site : Site.t;
+      non_temporal : bool;
+          (** Non-temporal stores bypass the cache: they need no flush but
+              still require a fence to be guaranteed persistent (§2.1). *)
+    }
+  | Load of { tid : Tid.t; addr : int; size : int; site : Site.t }
+  | Flush of { tid : Tid.t; line : int; kind : flush_kind; site : Site.t }
+      (** [line] is the cache-line-aligned address being flushed. *)
+  | Fence of { tid : Tid.t; site : Site.t }
+  | Lock_acquire of { tid : Tid.t; lock : Lock_id.t; site : Site.t }
+  | Lock_release of { tid : Tid.t; lock : Lock_id.t; site : Site.t }
+  | Thread_create of { parent : Tid.t; child : Tid.t }
+  | Thread_join of { waiter : Tid.t; joined : Tid.t }
+
+val tid : t -> Tid.t
+(** The thread that issued the event (the parent for [Thread_create], the
+    waiter for [Thread_join]). *)
+
+val is_pm_access : t -> bool
+(** [true] for [Store] and [Load]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+module Make (H : Hashtbl.HashedType) = struct
+  module Tbl = Hashtbl.Make (H)
+
+  type t = {
+    ids : int Tbl.t;
+    mutable values : H.t array;
+    mutable count : int;
+  }
+
+  let create ?(size = 64) () =
+    { ids = Tbl.create size; values = [||]; count = 0 }
+
+  let intern t v =
+    match Tbl.find_opt t.ids v with
+    | Some id -> id
+    | None ->
+        let id = t.count in
+        Tbl.add t.ids v id;
+        let cap = Array.length t.values in
+        if id = cap then begin
+          let values = Array.make (max 8 (2 * cap)) v in
+          Array.blit t.values 0 values 0 cap;
+          t.values <- values
+        end;
+        t.values.(id) <- v;
+        t.count <- id + 1;
+        id
+
+  let get t id =
+    if id < 0 || id >= t.count then
+      invalid_arg "Interner.get: unknown id";
+    t.values.(id)
+
+  let count t = t.count
+
+  let iter f t =
+    for id = 0 to t.count - 1 do
+      f id t.values.(id)
+    done
+end

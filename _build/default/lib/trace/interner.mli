@@ -1,0 +1,26 @@
+(** Hash-consing tables.
+
+    The paper's implementation shares locksets, vector clocks and
+    backtraces across PM accesses and identifies each by a unique integer,
+    enabling O(1) equality, fast hashing and compact access records (§4).
+    This functor provides that mechanism for any hashable type. *)
+
+module Make (H : Hashtbl.HashedType) : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+
+  val intern : t -> H.t -> int
+  (** [intern t v] returns the unique id of [v], allocating a fresh id
+      (densely from [0]) the first time [v] is seen. Two values with
+      [H.equal] receive the same id. *)
+
+  val get : t -> int -> H.t
+  (** [get t id] is the value registered under [id]. Raises
+      [Invalid_argument] for unknown ids. *)
+
+  val count : t -> int
+  (** Number of distinct values interned so far. *)
+
+  val iter : (int -> H.t -> unit) -> t -> unit
+end

@@ -1,0 +1,11 @@
+type t = int
+
+let of_int n =
+  if n < 0 then invalid_arg "Lock_id.of_int: negative lock id";
+  n
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash t = t
+let pp ppf t = Format.fprintf ppf "L%d" t

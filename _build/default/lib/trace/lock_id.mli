@@ -1,0 +1,18 @@
+(** Lock identifiers.
+
+    Every synchronization object (mutex, rwlock, spinlock, custom primitive
+    registered through the sync configuration) receives a unique id at
+    creation time. Read-write locks use two ids so that a read acquisition
+    and a write acquisition can be distinguished by the analysis. *)
+
+type t = private int
+
+val of_int : int -> t
+(** [of_int n] is the lock id [n]. Raises [Invalid_argument] if [n < 0]. *)
+
+val to_int : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** Source sites.
+
+    A site identifies the program location of an instrumented operation:
+    the file and line of the instruction plus the lightweight call stack
+    maintained by the runtime (the paper instruments call/return
+    instructions to build backtraces cheaply instead of using
+    [PIN_Backtrace], §4). Race reports carry the sites of both accesses,
+    mirroring Table 2's [file:line] columns. *)
+
+type t = {
+  file : string;  (** Source file of the access. *)
+  line : int;  (** Source line of the access. *)
+  frames : string list;  (** Call stack, innermost frame first. *)
+}
+
+val none : t
+(** Placeholder site for operations without source attribution
+    (e.g. synthetic traces built in tests). *)
+
+val of_pos : ?frames:string list -> string * int * int * int -> t
+(** [of_pos __POS__] builds a site from OCaml's built-in source position. *)
+
+val v : ?frames:string list -> string -> int -> t
+(** [v file line] builds a site explicitly. *)
+
+val location : t -> string
+(** [location s] is ["file:line"], the key used to match reports against
+    the ground-truth bug registry. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["file:line"]. *)
+
+val pp_backtrace : Format.formatter -> t -> unit
+(** Prints the site and its call stack, one frame per line. *)

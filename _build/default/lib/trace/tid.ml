@@ -1,0 +1,13 @@
+type t = int
+
+let main = 0
+
+let of_int n =
+  if n < 0 then invalid_arg "Tid.of_int: negative thread id";
+  n
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash t = t
+let pp ppf t = Format.fprintf ppf "T%d" t

@@ -1,0 +1,20 @@
+(** Thread identifiers.
+
+    Threads are numbered densely from [0] (the main thread) in creation
+    order, which lets per-thread state live in growable arrays and vector
+    clocks use the thread id as index. *)
+
+type t = private int
+
+val main : t
+(** The initial thread of every execution. *)
+
+val of_int : int -> t
+(** [of_int n] is the thread id [n]. Raises [Invalid_argument] if [n < 0]. *)
+
+val to_int : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

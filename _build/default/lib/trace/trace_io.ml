@@ -1,0 +1,154 @@
+exception Parse_error of int * string
+
+let header = "# hawkset-trace 1"
+
+(* Sites: "<file>:<line>" plus an optional ";"-joined frame list. File
+   names may not contain spaces, ':' is split from the right. *)
+let site_to_string (s : Site.t) =
+  let base = Printf.sprintf "%s:%d" s.Site.file s.Site.line in
+  match s.Site.frames with
+  | [] -> base
+  | frames -> base ^ " " ^ String.concat ";" frames
+
+(* [err] must be let-bound inside (a function parameter would be
+   monomorphic and is used at several types). *)
+let site_of_fields ~lineno fields =
+  let err msg = raise (Parse_error (lineno, msg)) in
+  match fields with
+  | [] -> err "missing site"
+  | locstr :: rest ->
+      let file, line =
+        match String.rindex_opt locstr ':' with
+        | None -> err "site has no ':'"
+        | Some i -> (
+            let file = String.sub locstr 0 i in
+            let l = String.sub locstr (i + 1) (String.length locstr - i - 1) in
+            match int_of_string_opt l with
+            | Some n -> (file, n)
+            | None -> err "bad line number")
+      in
+      let frames =
+        match rest with
+        | [] -> []
+        | [ fs ] -> String.split_on_char ';' fs
+        | _ :: _ :: _ -> err "trailing fields"
+      in
+      Site.v ~frames file line
+
+let flush_kind_to_string = function
+  | Event.Clwb -> "clwb"
+  | Event.Clflushopt -> "clflushopt"
+  | Event.Clflush -> "clflush"
+
+let flush_kind_of_string ~lineno = function
+  | "clwb" -> Event.Clwb
+  | "clflushopt" -> Event.Clflushopt
+  | "clflush" -> Event.Clflush
+  | s -> raise (Parse_error (lineno, Printf.sprintf "unknown flush kind %S" s))
+
+let event_to_line ev =
+  let t tid = string_of_int (Tid.to_int tid) in
+  match ev with
+  | Event.Store { tid; addr; size; site; non_temporal } ->
+      Printf.sprintf "S %s %d %d %d %s" (t tid) addr size
+        (if non_temporal then 1 else 0)
+        (site_to_string site)
+  | Event.Load { tid; addr; size; site } ->
+      Printf.sprintf "L %s %d %d %s" (t tid) addr size (site_to_string site)
+  | Event.Flush { tid; line; kind; site } ->
+      Printf.sprintf "F %s %d %s %s" (t tid) line (flush_kind_to_string kind)
+        (site_to_string site)
+  | Event.Fence { tid; site } ->
+      Printf.sprintf "M %s %s" (t tid) (site_to_string site)
+  | Event.Lock_acquire { tid; lock; site } ->
+      Printf.sprintf "A %s %d %s" (t tid) (Lock_id.to_int lock)
+        (site_to_string site)
+  | Event.Lock_release { tid; lock; site } ->
+      Printf.sprintf "R %s %d %s" (t tid) (Lock_id.to_int lock)
+        (site_to_string site)
+  | Event.Thread_create { parent; child } ->
+      Printf.sprintf "C %s %s" (t parent) (t child)
+  | Event.Thread_join { waiter; joined } ->
+      Printf.sprintf "J %s %s" (t waiter) (t joined)
+
+let event_of_line_at lineno line =
+  let err msg = raise (Parse_error (lineno, msg)) in
+  let int s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> err (Printf.sprintf "expected integer, got %S" s)
+  in
+  let tid s = Tid.of_int (int s) in
+  let fields =
+    List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+  in
+  match fields with
+  | "S" :: t :: addr :: size :: nt :: site ->
+      Event.Store
+        {
+          tid = tid t;
+          addr = int addr;
+          size = int size;
+          non_temporal = int nt <> 0;
+          site = site_of_fields ~lineno site;
+        }
+  | "L" :: t :: addr :: size :: site ->
+      Event.Load
+        { tid = tid t; addr = int addr; size = int size;
+          site = site_of_fields ~lineno site }
+  | "F" :: t :: line_addr :: kind :: site ->
+      Event.Flush
+        {
+          tid = tid t;
+          line = int line_addr;
+          kind = flush_kind_of_string ~lineno kind;
+          site = site_of_fields ~lineno site;
+        }
+  | "M" :: t :: site -> Event.Fence { tid = tid t; site = site_of_fields ~lineno site }
+  | "A" :: t :: lock :: site ->
+      Event.Lock_acquire
+        { tid = tid t; lock = Lock_id.of_int (int lock);
+          site = site_of_fields ~lineno site }
+  | "R" :: t :: lock :: site ->
+      Event.Lock_release
+        { tid = tid t; lock = Lock_id.of_int (int lock);
+          site = site_of_fields ~lineno site }
+  | [ "C"; parent; child ] ->
+      Event.Thread_create { parent = tid parent; child = tid child }
+  | [ "J"; waiter; joined ] ->
+      Event.Thread_join { waiter = tid waiter; joined = tid joined }
+  | tag :: _ -> err (Printf.sprintf "unknown event tag %S" tag)
+  | [] -> err "empty line"
+
+let event_of_line line = event_of_line_at 0 line
+
+let write oc trace =
+  output_string oc header;
+  output_char oc '\n';
+  Tracebuf.iter
+    (fun ev ->
+      output_string oc (event_to_line ev);
+      output_char oc '\n')
+    trace
+
+let read ic =
+  let trace = Tracebuf.create () in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let trimmed = String.trim line in
+       if trimmed <> "" && trimmed.[0] <> '#' then
+         Tracebuf.push trace (event_of_line_at !lineno trimmed)
+     done
+   with End_of_file -> ());
+  trace
+
+let save path trace =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc trace)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)

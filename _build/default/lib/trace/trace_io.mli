@@ -1,0 +1,35 @@
+(** Trace serialization.
+
+    A simple line-oriented text format, one event per line, so traces can
+    be collected once and analysed offline (or by other tools) — the
+    workflow of the paper's pipeline, where instrumentation and analysis
+    are separate stages. The format is stable and human-greppable:
+
+    {v
+    # hawkset-trace 1
+    S <tid> <addr> <size> <nt:0|1> <file>:<line> [frame;frame...]
+    L <tid> <addr> <size> <file>:<line> [frames]
+    F <tid> <line-addr> <clwb|clflushopt|clflush> <file>:<line> [frames]
+    M <tid> <file>:<line> [frames]            (sfence)
+    A <tid> <lock> <file>:<line> [frames]     (acquire)
+    R <tid> <lock> <file>:<line> [frames]     (release)
+    C <parent> <child>                        (thread create)
+    J <waiter> <joined>                       (thread join)
+    v} *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val write : out_channel -> Tracebuf.t -> unit
+val read : in_channel -> Tracebuf.t
+
+val save : string -> Tracebuf.t -> unit
+(** [save path trace] writes the trace to [path]. *)
+
+val load : string -> Tracebuf.t
+(** Raises {!Parse_error} on malformed input and [Sys_error] on IO
+    failure. *)
+
+val event_to_line : Event.t -> string
+val event_of_line : string -> Event.t
+(** Raises {!Parse_error} (with line number 0). *)

@@ -1,0 +1,86 @@
+type t = {
+  mutable events : Event.t array;
+  mutable len : int;
+}
+
+let dummy =
+  Event.Fence { tid = Tid.main; site = Site.none }
+
+let create ?(capacity = 1024) () =
+  { events = Array.make (max capacity 1) dummy; len = 0 }
+
+let grow t =
+  let cap = Array.length t.events in
+  let events = Array.make (2 * cap) dummy in
+  Array.blit t.events 0 events 0 t.len;
+  t.events <- events
+
+let push t ev =
+  if t.len = Array.length t.events then grow t;
+  t.events.(t.len) <- ev;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Tracebuf.get: index out of bounds";
+  t.events.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.events.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.events.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.events.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.events.(i))
+
+let of_list evs =
+  let t = create ~capacity:(max 1 (List.length evs)) () in
+  List.iter (push t) evs;
+  t
+
+type stats = {
+  stores : int;
+  loads : int;
+  flushes : int;
+  fences : int;
+  lock_ops : int;
+  thread_ops : int;
+}
+
+let stats t =
+  let s =
+    ref { stores = 0; loads = 0; flushes = 0; fences = 0; lock_ops = 0;
+          thread_ops = 0 }
+  in
+  iter
+    (fun ev ->
+      let c = !s in
+      s :=
+        (match ev with
+        | Event.Store _ -> { c with stores = c.stores + 1 }
+        | Event.Load _ -> { c with loads = c.loads + 1 }
+        | Event.Flush _ -> { c with flushes = c.flushes + 1 }
+        | Event.Fence _ -> { c with fences = c.fences + 1 }
+        | Event.Lock_acquire _ | Event.Lock_release _ ->
+            { c with lock_ops = c.lock_ops + 1 }
+        | Event.Thread_create _ | Event.Thread_join _ ->
+            { c with thread_ops = c.thread_ops + 1 }))
+    t;
+  !s
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "stores=%d loads=%d flushes=%d fences=%d lock_ops=%d thread_ops=%d"
+    s.stores s.loads s.flushes s.fences s.lock_ops s.thread_ops

@@ -1,0 +1,38 @@
+(** Execution traces.
+
+    A trace is the append-only sequence of events collected while running
+    an application under the instrumented runtime. Positions in the trace
+    define a total order per execution; the analysis refers back to events
+    by index. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val push : t -> Event.t -> unit
+val length : t -> int
+
+val get : t -> int -> Event.t
+(** [get t i] is the [i]-th event. Raises [Invalid_argument] when out of
+    bounds. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+val iteri : (int -> Event.t -> unit) -> t -> unit
+val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Event.t list
+
+val of_list : Event.t list -> t
+(** Builds a trace directly, used by tests that hand-craft executions. *)
+
+(** Per-kind event counts, used by trace statistics and the evaluation
+    harness. *)
+type stats = {
+  stores : int;
+  loads : int;
+  flushes : int;
+  fences : int;
+  lock_ops : int;
+  thread_ops : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

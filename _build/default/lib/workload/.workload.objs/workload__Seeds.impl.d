@@ -1,0 +1,1 @@
+lib/workload/seeds.ml: Array List Machine Op

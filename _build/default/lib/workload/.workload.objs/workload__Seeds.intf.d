@@ -1,0 +1,1 @@
+lib/workload/seeds.mli: Machine Op

@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Array List Machine Op Zipf

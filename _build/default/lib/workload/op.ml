@@ -1,0 +1,43 @@
+type kv =
+  | Insert of int * int64
+  | Update of int * int64
+  | Get of int
+  | Delete of int
+
+type mc =
+  | Mc_set of int * int64
+  | Mc_get of int
+  | Mc_add of int * int64
+  | Mc_replace of int * int64
+  | Mc_append of int * int64
+  | Mc_prepend of int * int64
+  | Mc_cas of int * int64 * int64
+  | Mc_delete of int
+  | Mc_incr of int
+  | Mc_decr of int
+
+type fs = Fs_write of int * int | Fs_read of int * int
+
+let pp_kv ppf = function
+  | Insert (k, v) -> Format.fprintf ppf "insert %d=%Ld" k v
+  | Update (k, v) -> Format.fprintf ppf "update %d=%Ld" k v
+  | Get k -> Format.fprintf ppf "get %d" k
+  | Delete k -> Format.fprintf ppf "delete %d" k
+
+let pp_mc ppf = function
+  | Mc_set (k, v) -> Format.fprintf ppf "set %d=%Ld" k v
+  | Mc_get k -> Format.fprintf ppf "get %d" k
+  | Mc_add (k, v) -> Format.fprintf ppf "add %d=%Ld" k v
+  | Mc_replace (k, v) -> Format.fprintf ppf "replace %d=%Ld" k v
+  | Mc_append (k, v) -> Format.fprintf ppf "append %d+=%Ld" k v
+  | Mc_prepend (k, v) -> Format.fprintf ppf "prepend %d=+%Ld" k v
+  | Mc_cas (k, e, d) -> Format.fprintf ppf "cas %d %Ld->%Ld" k e d
+  | Mc_delete k -> Format.fprintf ppf "delete %d" k
+  | Mc_incr k -> Format.fprintf ppf "incr %d" k
+  | Mc_decr k -> Format.fprintf ppf "decr %d" k
+
+let pp_fs ppf = function
+  | Fs_write (o, s) -> Format.fprintf ppf "write @%d+%d" o s
+  | Fs_read (o, s) -> Format.fprintf ppf "read @%d+%d" o s
+
+let kv_key = function Insert (k, _) | Update (k, _) | Get k | Delete k -> k

@@ -1,0 +1,33 @@
+(** Workload operations.
+
+    Three operation families cover the nine evaluated applications: the
+    YCSB-style key-value operations (the seven index/hash-table apps), the
+    Memcached command set, and MadFS file writes/reads (§5 "Workloads"). *)
+
+type kv =
+  | Insert of int * int64
+  | Update of int * int64
+  | Get of int
+  | Delete of int
+
+type mc =
+  | Mc_set of int * int64
+  | Mc_get of int
+  | Mc_add of int * int64
+  | Mc_replace of int * int64
+  | Mc_append of int * int64
+  | Mc_prepend of int * int64
+  | Mc_cas of int * int64 * int64  (** key, expected, desired *)
+  | Mc_delete of int
+  | Mc_incr of int
+  | Mc_decr of int
+
+type fs =
+  | Fs_write of int * int  (** offset, size *)
+  | Fs_read of int * int
+
+val pp_kv : Format.formatter -> kv -> unit
+val pp_mc : Format.formatter -> mc -> unit
+val pp_fs : Format.formatter -> fs -> unit
+
+val kv_key : kv -> int

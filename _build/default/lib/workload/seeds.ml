@@ -1,0 +1,59 @@
+let gen_op prng ~key_space =
+  let key () = 1 + Machine.Prng.int prng key_space in
+  let value () = Machine.Prng.next_int64 prng in
+  match Machine.Prng.int prng 100 with
+  | r when r < 50 -> Op.Insert (key (), value ())
+  | r when r < 70 -> Op.Update (key (), value ())
+  | r when r < 90 -> Op.Get (key ())
+  | _ -> Op.Delete (key ())
+
+let corpus ?(count = 240) ?(ops_per_seed = 400) ?(base_seed = 1000) () =
+  Array.init count (fun i ->
+      let prng = Machine.Prng.create (base_seed + i) in
+      let key_space = 64 + Machine.Prng.int prng 512 in
+      List.init ops_per_seed (fun _ -> gen_op prng ~key_space))
+
+let mutate prng ops =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  if n = 0 then [ gen_op prng ~key_space:64 ]
+  else begin
+    let mutations = 1 + Machine.Prng.int prng (max 1 (n / 10)) in
+    let out = ref (Array.to_list arr) in
+    for _ = 1 to mutations do
+      let cur = Array.of_list !out in
+      let m = Array.length cur in
+      if m > 0 then begin
+        let i = Machine.Prng.int prng m in
+        match Machine.Prng.int prng 4 with
+        | 0 ->
+            (* Replace with a fresh operation. *)
+            cur.(i) <- gen_op prng ~key_space:(64 + Machine.Prng.int prng 512);
+            out := Array.to_list cur
+        | 1 ->
+            (* Duplicate an operation. *)
+            out := Array.to_list cur @ [ cur.(i) ]
+        | 2 ->
+            (* Drop an operation. *)
+            out :=
+              List.filteri (fun j _ -> j <> i) (Array.to_list cur)
+        | _ ->
+            (* Swap two operations. *)
+            let j = Machine.Prng.int prng m in
+            let tmp = cur.(i) in
+            cur.(i) <- cur.(j);
+            cur.(j) <- tmp;
+            out := Array.to_list cur
+      end
+    done;
+    !out
+  end
+
+let split ~threads ops =
+  let per_thread = Array.make threads [] in
+  List.iteri
+    (fun i op ->
+      let t = i mod threads in
+      per_thread.(t) <- op :: per_thread.(t))
+    ops;
+  Array.map List.rev per_thread

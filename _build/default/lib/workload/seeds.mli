@@ -1,0 +1,23 @@
+(** PMRace-style seed corpus and mutation engine (§5.2).
+
+    PMRace starts from an initial workload (a "seed" of ~400 operations),
+    executes the application with it, then repeatedly mutates the workload
+    and re-executes, injecting delays in the hope of directly observing a
+    racy interleaving. The paper's Fast-Fair comparison uses 240 seeds;
+    each tool is run once per seed and the average time to find a given
+    race is compared (Table 3). *)
+
+val corpus :
+  ?count:int -> ?ops_per_seed:int -> ?base_seed:int -> unit -> Op.kv list array
+(** [corpus ()] generates the seed workloads (default 240 seeds of ~400
+    operations each, matching the paper). Seed [i] is deterministic in
+    [base_seed + i]. The mix is insert-heavy so that structural operations
+    (node splits, rehashes) actually occur. *)
+
+val mutate : Machine.Prng.t -> Op.kv list -> Op.kv list
+(** One fuzzing step: randomly replaces, duplicates, drops or reorders
+    operations and perturbs keys, preserving rough workload size. *)
+
+val split : threads:int -> Op.kv list -> Op.kv list array
+(** Deals a seed's operations round-robin onto [threads] worker lists, the
+    way the comparison harness feeds them to the application. *)

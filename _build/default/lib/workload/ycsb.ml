@@ -1,0 +1,112 @@
+type spec = {
+  load_ops : int;
+  main_ops : int;
+  threads : int;
+  insert_pct : int;
+  update_pct : int;
+  get_pct : int;
+  delete_pct : int;
+  key_space : int;
+  zipfian : bool;
+}
+
+let paper_mix ~ops =
+  {
+    load_ops = 1000;
+    main_ops = ops;
+    threads = 8;
+    insert_pct = 30;
+    update_pct = 30;
+    get_pct = 30;
+    delete_pct = 10;
+    key_space = max 2048 (2 * ops);
+    zipfian = false;
+  }
+
+type t = { load : Op.kv list; per_thread : Op.kv list array }
+
+let validate spec =
+  if spec.insert_pct + spec.update_pct + spec.get_pct + spec.delete_pct <> 100
+  then invalid_arg "Ycsb.generate: operation mix must sum to 100";
+  if spec.load_ops < 0 || spec.main_ops < 0 || spec.threads <= 0
+     || spec.key_space <= 0
+  then invalid_arg "Ycsb.generate: non-positive field"
+
+let generate ~seed spec =
+  validate spec;
+  let prng = Machine.Prng.create seed in
+  let zipf = if spec.zipfian then Some (Zipf.create spec.key_space) else None in
+  let key () =
+    match zipf with
+    | Some z -> 1 + Zipf.sample z prng
+    | None -> 1 + Machine.Prng.int prng spec.key_space
+  in
+  let value () = Machine.Prng.next_int64 prng in
+  (* Load phase: distinct keys so the structure actually grows. *)
+  let load =
+    List.init spec.load_ops (fun i -> Op.Insert ((i * 7) + 1, value ()))
+  in
+  let main_op () =
+    let r = Machine.Prng.int prng 100 in
+    if r < spec.insert_pct then Op.Insert (key (), value ())
+    else if r < spec.insert_pct + spec.update_pct then Op.Update (key (), value ())
+    else if r < spec.insert_pct + spec.update_pct + spec.get_pct then
+      Op.Get (key ())
+    else Op.Delete (key ())
+  in
+  let per_thread = Array.make spec.threads [] in
+  for i = spec.main_ops - 1 downto 0 do
+    let t = i mod spec.threads in
+    per_thread.(t) <- main_op () :: per_thread.(t)
+  done;
+  { load; per_thread }
+
+let total_ops t =
+  List.length t.load
+  + Array.fold_left (fun acc l -> acc + List.length l) 0 t.per_thread
+
+let memcached_mix ~seed ~ops ~threads =
+  let prng = Machine.Prng.create seed in
+  let key_space = max 512 ops in
+  let zipf = Zipf.create key_space in
+  let key () = 1 + Zipf.sample zipf prng in
+  let value () = Machine.Prng.next_int64 prng in
+  let main_op () =
+    match Machine.Prng.int prng 10 with
+    | 0 -> Op.Mc_set (key (), value ())
+    | 1 -> Op.Mc_get (key ())
+    | 2 -> Op.Mc_add (key (), value ())
+    | 3 -> Op.Mc_replace (key (), value ())
+    | 4 -> Op.Mc_append (key (), value ())
+    | 5 -> Op.Mc_prepend (key (), value ())
+    | 6 -> Op.Mc_cas (key (), value (), value ())
+    | 7 -> Op.Mc_delete (key ())
+    | 8 -> Op.Mc_incr (key ())
+    | _ -> Op.Mc_decr (key ())
+  in
+  let per_thread = Array.make threads [] in
+  for i = ops - 1 downto 0 do
+    let t = i mod threads in
+    per_thread.(t) <- main_op () :: per_thread.(t)
+  done;
+  (* 1000-set load phase, executed before workers start. *)
+  let load = List.init 1000 (fun i -> Op.Mc_set ((i mod key_space) + 1, value ())) in
+  per_thread.(0) <- load @ per_thread.(0);
+  per_thread
+
+let madfs_mix ~seed ~ops ~threads ~file_blocks =
+  let prng = Machine.Prng.create seed in
+  let zipf = Zipf.create file_blocks in
+  let block_size = 4096 in
+  let per_thread = Array.make threads [] in
+  for i = ops - 1 downto 0 do
+    let t = i mod threads in
+    let block = Zipf.sample zipf prng in
+    let op =
+      if Machine.Prng.int prng 100 < 80 then
+        Op.Fs_write (block * block_size, block_size)
+      else Op.Fs_read (block * block_size, block_size)
+    in
+    per_thread.(t) <- op :: per_thread.(t)
+  done;
+  per_thread

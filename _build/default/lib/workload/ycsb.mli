@@ -1,0 +1,44 @@
+(** YCSB-style workload generator (§5 "Workloads").
+
+    The paper's evaluation runs, for the seven key-value applications, a
+    load phase of 1k insertions followed by a main phase mixing 30%
+    insertions, 30% updates, 30% gets and 10% deletes over 1k/10k/100k
+    operations, split across eight worker threads. *)
+
+type spec = {
+  load_ops : int;  (** Insertions in the load phase. *)
+  main_ops : int;  (** Total operations in the main phase. *)
+  threads : int;  (** Worker threads sharing the main phase. *)
+  insert_pct : int;
+  update_pct : int;
+  get_pct : int;
+  delete_pct : int;  (** The four percentages must sum to 100. *)
+  key_space : int;  (** Keys are drawn from [\[1, key_space\]]. *)
+  zipfian : bool;  (** Zipfian (vs uniform) key popularity. *)
+}
+
+val paper_mix : ops:int -> spec
+(** The paper's configuration: 1k-insert load phase, [ops] main
+    operations, 8 threads, 30/30/30/10 mix, uniform keys over a space
+    sized to the workload. *)
+
+type t = {
+  load : Op.kv list;  (** Executed single-threaded before the main phase. *)
+  per_thread : Op.kv list array;  (** One op list per worker thread. *)
+}
+
+val generate : seed:int -> spec -> t
+(** Deterministic in [seed] and [spec]. Raises [Invalid_argument] when the
+    percentages do not sum to 100 or a field is non-positive. *)
+
+val total_ops : t -> int
+
+val memcached_mix : seed:int -> ops:int -> threads:int -> Op.mc list array
+(** The Memcached workload: a 1000-set load phase is produced as the first
+    chunk of thread 0's list; the main phase mixes set, get, add, replace,
+    append, prepend, CAS, delete, incr and decr over zipfian keys (§5). *)
+
+val madfs_mix :
+  seed:int -> ops:int -> threads:int -> file_blocks:int -> Op.fs list array
+(** The MadFS workload: 4 KiB writes (and reads) at zipfian offsets of a
+    file shared by all threads (§5). *)

@@ -1,0 +1,18 @@
+(** Zipfian distribution sampler.
+
+    Used by the Memcached and MadFS workloads ("the target offset ... is
+    randomized following a zipfian distribution", §5) and available to the
+    YCSB generator. Standard inverse-CDF sampling with a precomputed
+    harmonic table. *)
+
+type t
+
+val create : ?theta:float -> int -> t
+(** [create n] prepares a sampler over [\[0, n)]. [theta] is the skew
+    (default 0.99, the YCSB default). Raises [Invalid_argument] when
+    [n <= 0]. *)
+
+val sample : t -> Machine.Prng.t -> int
+(** Draws a rank in [\[0, n)]; rank 0 is the most popular. *)
+
+val size : t -> int

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Bytes Char Format Hashtbl Hawkset Int64 List Machine Option Pmapps Pmem Printf QCheck QCheck_alcotest Trace Workload

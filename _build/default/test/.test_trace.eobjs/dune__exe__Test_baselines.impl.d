@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Hawkset Int64 List Machine Pmapps Pmem Trace Workload

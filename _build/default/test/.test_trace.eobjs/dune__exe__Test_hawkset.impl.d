@@ -1,0 +1,1 @@
+test/test_hawkset.ml: Alcotest Bytes Format Hashtbl Hawkset Int List Lockset Machine Pmem Printf QCheck QCheck_alcotest Random Str String Trace Vclock

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Bytes Format Int64 List Machine Pmem Printf QCheck QCheck_alcotest Trace

@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Bytes Hashtbl Int64 List Pmem QCheck QCheck_alcotest Trace

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Filename Format Fun Hashtbl Hawkset List Printf QCheck QCheck_alcotest String Sys Trace

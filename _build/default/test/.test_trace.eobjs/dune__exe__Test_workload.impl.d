@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Hashtbl List Machine Option Printf QCheck QCheck_alcotest Workload

@@ -1,0 +1,239 @@
+(* Tests for the baseline detectors: Eraser (traditional lockset) and the
+   PMRace-style observation-based fuzzer. *)
+
+module S = Machine.Sched
+
+let lid = Trace.Lock_id.of_int
+let tid = Trace.Tid.of_int
+let site line = Trace.Site.v "b.ml" line
+
+let store ?(t = 1) ~line addr =
+  Trace.Event.Store
+    { tid = tid t; addr; size = 8; site = site line; non_temporal = false }
+
+let load ?(t = 2) ~line addr =
+  Trace.Event.Load { tid = tid t; addr; size = 8; site = site line }
+
+let persist ?(t = 1) addr =
+  [
+    Trace.Event.Flush
+      { tid = tid t; line = Pmem.Layout.line_of addr; kind = Trace.Event.Clwb;
+        site = site 0 };
+    Trace.Event.Fence { tid = tid t; site = site 0 };
+  ]
+
+let acq ?(t = 1) l =
+  Trace.Event.Lock_acquire { tid = tid t; lock = lid l; site = site 0 }
+
+let rel ?(t = 1) l =
+  Trace.Event.Lock_release { tid = tid t; lock = lid l; site = site 0 }
+
+module Eraser_tests = struct
+  let catches_plain_race () =
+    let t =
+      Trace.Tracebuf.of_list [ store ~t:1 ~line:1 128; load ~t:2 ~line:2 128 ]
+    in
+    Alcotest.(check int) "unprotected pair reported" 1
+      (Hawkset.Report.count (Baselines.Eraser.analyse t))
+
+  let blind_to_figure_1c () =
+    (* Same lock on both sides, persist outside the critical section:
+       HawkSet reports, Eraser cannot. *)
+    let evs =
+      [ acq ~t:1 7; store ~t:1 ~line:1 128; rel ~t:1 7 ]
+      @ [ acq ~t:2 7; load ~t:2 ~line:2 128; rel ~t:2 7 ]
+      @ persist ~t:1 128
+    in
+    let t = Trace.Tracebuf.of_list evs in
+    Alcotest.(check int) "eraser silent" 0
+      (Hawkset.Report.count (Baselines.Eraser.analyse t));
+    Alcotest.(check int) "hawkset reports" 1
+      (Hawkset.Report.count
+         (Hawkset.Pipeline.races ~config:Hawkset.Pipeline.no_irh t))
+
+  let respects_locks () =
+    let evs =
+      [ acq ~t:1 7; store ~t:1 ~line:1 128; rel ~t:1 7; acq ~t:2 7;
+        load ~t:2 ~line:2 128; rel ~t:2 7 ]
+    in
+    Alcotest.(check int) "protected pair not reported" 0
+      (Hawkset.Report.count (Baselines.Eraser.analyse (Trace.Tracebuf.of_list evs)))
+
+  let hb_variant () =
+    (* An overwritten init store (kept by the IRH, closed before the
+       thread creation) ordered before the child's load: silent with the
+       happens-before filter, a false positive without it (the original
+       Eraser had none). The final store is persisted pre-publication so
+       the IRH prunes it. *)
+    let evs =
+      [ store ~t:1 ~line:1 128; store ~t:1 ~line:3 128 ]
+      @ persist ~t:1 128
+      @ [ Trace.Event.Thread_create { parent = tid 1; child = tid 2 };
+          load ~t:2 ~line:2 128 ]
+    in
+    let t = Trace.Tracebuf.of_list evs in
+    Alcotest.(check int) "with HB: silent" 0
+      (Hawkset.Report.count (Baselines.Eraser.analyse t));
+    Alcotest.(check int) "without HB: FP" 1
+      (Hawkset.Report.count (Baselines.Eraser.analyse_no_hb t))
+
+  let tests =
+    [
+      Alcotest.test_case "catches plain race" `Quick catches_plain_race;
+      Alcotest.test_case "blind to figure 1c" `Quick blind_to_figure_1c;
+      Alcotest.test_case "respects locks" `Quick respects_locks;
+      Alcotest.test_case "happens-before variant" `Quick hb_variant;
+    ]
+end
+
+module Pmrace_tests = struct
+  (* A deliberately racy micro-app: writer publishes unpersisted data the
+     reader polls (lock-free). *)
+  let run ~per_thread:_ ~seed ~policy ~observe =
+    let heap = Pmem.Heap.create ~size:(1 lsl 16) () in
+    S.run ~seed ~policy ~observe ~heap (fun ctx ->
+        let a = S.alloc ctx 8 in
+        let w =
+          S.spawn ctx (fun ctx ->
+              for i = 1 to 20 do
+                S.store_i64 ctx __POS__ a (Int64.of_int i);
+                S.persist ctx __POS__ a 8
+              done)
+        in
+        let r =
+          S.spawn ctx (fun ctx ->
+              for _ = 1 to 20 do
+                ignore (S.load_i64 ctx __POS__ a)
+              done)
+        in
+        S.join ctx w;
+        S.join ctx r)
+
+  let observes_with_enough_executions () =
+    let seed_workload =
+      (Workload.Seeds.corpus ~count:1 ~ops_per_seed:10 ()).(0)
+    in
+    let report =
+      Baselines.Pmrace.fuzz ~run ~seed_workload ~executions:30
+        ~delay_probability:0.2 ~delay_duration:50 ()
+    in
+    Alcotest.(check int) "all executions ran" 30
+      report.Baselines.Pmrace.executions;
+    Alcotest.(check bool) "observed the race" true
+      (report.Baselines.Pmrace.observations <> []);
+    Alcotest.(check bool) "time measured" true
+      (report.Baselines.Pmrace.seconds > 0.0)
+
+  let observed_matcher () =
+    let seed_workload = (Workload.Seeds.corpus ~count:1 ~ops_per_seed:10 ()).(0) in
+    let report =
+      Baselines.Pmrace.fuzz ~run ~seed_workload ~executions:30
+        ~delay_probability:0.2 ~delay_duration:50 ()
+    in
+    match report.Baselines.Pmrace.observations with
+    | [] -> Alcotest.fail "expected observations"
+    | o :: _ ->
+        let store_loc = Trace.Site.location o.S.obs_store_site in
+        let load_loc = Trace.Site.location o.S.obs_load_site in
+        Alcotest.(check bool) "matcher finds it" true
+          (Baselines.Pmrace.observed report ~store_locs:[ store_loc ]
+             ~load_locs:[ load_loc ]);
+        Alcotest.(check bool) "matcher rejects others" false
+          (Baselines.Pmrace.observed report ~store_locs:[ "nowhere:1" ]
+             ~load_locs:[ load_loc ])
+
+  let needs_direct_observation () =
+    (* A correct program: no observations regardless of effort. *)
+    let quiet ~per_thread:_ ~seed ~policy ~observe =
+      let heap = Pmem.Heap.create ~size:(1 lsl 16) () in
+      S.run ~seed ~policy ~observe ~heap (fun ctx ->
+          let a = S.alloc ctx 8 in
+          S.store_i64 ctx __POS__ a 1L;
+          S.persist ctx __POS__ a 8;
+          let r = S.spawn ctx (fun ctx -> ignore (S.load_i64 ctx __POS__ a)) in
+          S.join ctx r)
+    in
+    let seed_workload = (Workload.Seeds.corpus ~count:1 ~ops_per_seed:5 ()).(0) in
+    let report =
+      Baselines.Pmrace.fuzz ~run:quiet ~seed_workload ~executions:10 ()
+    in
+    Alcotest.(check (list reject)) "no observations" []
+      (List.map (fun _ -> ()) report.Baselines.Pmrace.observations)
+
+  let tests =
+    [
+      Alcotest.test_case "observes with enough executions" `Quick
+        observes_with_enough_executions;
+      Alcotest.test_case "observed matcher" `Quick observed_matcher;
+      Alcotest.test_case "correct program stays quiet" `Quick
+        needs_direct_observation;
+    ]
+end
+
+module Durinn_tests = struct
+  let fast_fair_serial () = 
+    let heap = Pmem.Heap.create ~size:(32 * 1024 * 1024) () in
+    let seed_ops = (Workload.Seeds.corpus ~count:1 ~ops_per_seed:300 ()).(0) in
+    S.run ~seed:0 ~heap (fun ctx ->
+        let t = Pmapps.Fast_fair.create ctx in
+        List.iter
+          (fun op ->
+            match op with
+            | Workload.Op.Insert (key, value) | Workload.Op.Update (key, value)
+              ->
+                Pmapps.Fast_fair.insert t ctx ~key ~value
+            | Workload.Op.Get key -> ignore (Pmapps.Fast_fair.get t ctx ~key)
+            | Workload.Op.Delete key -> Pmapps.Fast_fair.delete t ctx ~key)
+          seed_ops)
+
+  let candidates_from_serial_trace () =
+    let r = fast_fair_serial () in
+    let cands = Baselines.Durinn.candidates_of_trace r.S.trace in
+    (* The racy sibling-pointer store must be among the candidates. *)
+    let bug1 = List.hd Pmapps.Fast_fair.bugs in
+    Alcotest.(check bool) "bug #1's store site is a candidate" true
+      (List.exists
+         (fun c ->
+           List.mem c.Baselines.Durinn.cand_store_loc
+             bug1.Pmapps.Ground_truth.gt_store_locs)
+         cands);
+    Alcotest.(check bool) "several candidates" true (List.length cands >= 3)
+
+  let targeted_phase_confirms () =
+    let seed_ops = (Workload.Seeds.corpus ~count:1 ~ops_per_seed:300 ()).(0) in
+    let per_thread = Workload.Seeds.split ~threads:8 seed_ops in
+    let report =
+      Baselines.Durinn.run
+        ~serial_run:(fun () -> fast_fair_serial ())
+        ~concurrent_run:(fun ~policy ~seed ->
+          Pmapps.Driver.run_kv
+            (module Pmapps.Fast_fair)
+            ~seed ~policy ~observe:true ~load:[] ~per_thread ())
+        ~attempts_per_candidate:8 ~delay:150 ()
+    in
+    Alcotest.(check bool) "executions bounded" true
+      (report.Baselines.Durinn.executions
+      <= 8 * List.length report.Baselines.Durinn.candidates);
+    (* The targeted search should confirm bug #1 (the targeted delay sits
+       exactly on its store). *)
+    let bug1 = List.hd Pmapps.Fast_fair.bugs in
+    Alcotest.(check bool) "bug #1 confirmed" true
+      (Baselines.Durinn.observed_pair report
+         ~store_locs:bug1.Pmapps.Ground_truth.gt_store_locs
+         ~load_locs:bug1.Pmapps.Ground_truth.gt_load_locs)
+
+  let tests =
+    [
+      Alcotest.test_case "candidate extraction" `Quick
+        candidates_from_serial_trace;
+      Alcotest.test_case "targeted phase confirms" `Slow targeted_phase_confirms;
+    ]
+end
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ("eraser", Eraser_tests.tests);
+      ("pmrace", Pmrace_tests.tests);
+      ("durinn", Durinn_tests.tests);
+    ]

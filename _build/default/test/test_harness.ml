@@ -1,0 +1,164 @@
+(* Tests for the evaluation harness: table rendering, the avg-time-to-race
+   metric (checked against the paper's own numbers), and small-scale runs
+   of each experiment driver. *)
+
+module Metric_tests = struct
+  let paper_numbers () =
+    (* Table 3, PMRace row: T=600s, 9 racy out of 240 -> 69900.00 s. *)
+    (match Harness.Metrics.avg_time_to_race ~t:600.0 ~found:9 ~missed:231 with
+    | Some v -> Alcotest.(check (float 0.5)) "PMRace bug #1" 69900.0 v
+    | None -> Alcotest.fail "expected a value");
+    (* HawkSet row: T=6.65s, 110 racy out of 240 -> ~439 s. *)
+    (match Harness.Metrics.avg_time_to_race ~t:6.65 ~found:110 ~missed:130 with
+    | Some v -> Alcotest.(check (float 1.0)) "HawkSet bug #1" 438.9 v
+    | None -> Alcotest.fail "expected a value");
+    (* Bug #2, PMRace: never found -> infinity. *)
+    Alcotest.(check bool) "never found = infinity" true
+      (Harness.Metrics.avg_time_to_race ~t:600.0 ~found:0 ~missed:240 = None)
+
+  let closed_form_matches_binomial =
+    QCheck.Test.make ~name:"closed form equals the paper's binomial sum"
+      ~count:200
+      QCheck.(triple (float_bound_inclusive 100.0) (int_range 1 50) (int_range 0 60))
+      (fun (t, found, missed) ->
+        match
+          ( Harness.Metrics.avg_time_to_race ~t ~found ~missed,
+            Harness.Metrics.avg_time_to_race_binomial ~t ~found ~missed )
+        with
+        | Some a, Some b -> Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.abs a)
+        | None, None -> true
+        | Some _, None | None, Some _ -> false)
+
+  let speedup_shape () =
+    (* The headline: 600*(231/2+1) / (6.65*(130/2+1)) ~ 159x. *)
+    match
+      ( Harness.Metrics.avg_time_to_race ~t:600.0 ~found:9 ~missed:231,
+        Harness.Metrics.avg_time_to_race ~t:6.65 ~found:110 ~missed:130 )
+    with
+    | Some pm, Some hk ->
+        Alcotest.(check (float 2.0)) "paper speedup" 159.2 (pm /. hk)
+    | _ -> Alcotest.fail "expected values"
+
+  let tests =
+    [
+      Alcotest.test_case "paper numbers" `Quick paper_numbers;
+      QCheck_alcotest.to_alcotest closed_form_matches_binomial;
+      Alcotest.test_case "159x reconstruction" `Quick speedup_shape;
+    ]
+end
+
+module Tables_tests = struct
+  let render () =
+    let s =
+      Harness.Tables.render ~headers:[ "A"; "Bee" ]
+        ~rows:[ [ "xx"; "y" ]; [ "z" ] ]
+    in
+    let lines = String.split_on_char '\n' (String.trim s) in
+    Alcotest.(check int) "4 lines" 4 (List.length lines);
+    (* All lines align to the same width. *)
+    match lines with
+    | header :: _ ->
+        Alcotest.(check bool) "header contains names" true
+          (String.length header >= 6)
+    | [] -> Alcotest.fail "empty render"
+
+  let tests = [ Alcotest.test_case "render" `Quick render ]
+end
+
+module Experiment_tests = struct
+  (* Small-scale runs: check invariants, not absolute values. *)
+
+  let table2_small () =
+    let r = Harness.Table2.run ~sizes:[ 600 ] ~seed:11 () in
+    Alcotest.(check int) "20 ground-truth rows" 20 (List.length r.Harness.Table2.rows);
+    (* Even a small workload finds most bugs; the full sizes find all. *)
+    Alcotest.(check bool) "most bugs detected" true
+      (Harness.Table2.detected_count r >= 14)
+
+  let table4_small () =
+    let r = Harness.Table4.run ~ops:600 ~seed:11 () in
+    Alcotest.(check int) "one row per app" 9 (List.length r.Harness.Table4.rows);
+    Alcotest.(check bool) "IRH preserves malign bugs" true
+      (Harness.Table4.irh_never_drops_malign r);
+    List.iter
+      (fun row ->
+        Alcotest.(check bool)
+          (row.Harness.Table4.app ^ ": IRH only removes")
+          true
+          (row.Harness.Table4.after_irh <= row.Harness.Table4.reported_races);
+        Alcotest.(check int)
+          (row.Harness.Table4.app ^ ": manual counts sum")
+          row.Harness.Table4.reported_races
+          (row.Harness.Table4.malign + row.Harness.Table4.benign
+          + row.Harness.Table4.false_positives))
+      r.Harness.Table4.rows;
+    (* The memcached reuse pattern keeps FPs even with the IRH. *)
+    let mc =
+      List.find
+        (fun x -> x.Harness.Table4.app = "memcached-pmem")
+        r.Harness.Table4.rows
+    in
+    Alcotest.(check bool) "memcached FPs" true
+      (mc.Harness.Table4.false_positives > 0)
+
+  let table3_tiny () =
+    let r = Harness.Table3.run ~seeds:4 ~ops_per_seed:300 ~pmrace_executions:3 () in
+    Alcotest.(check int) "four rows" 4 (List.length r.Harness.Table3.rows);
+    let hk1 =
+      List.find
+        (fun x -> x.Harness.Table3.tool = "HawkSet" && x.Harness.Table3.bug_id = 1)
+        r.Harness.Table3.rows
+    in
+    Alcotest.(check bool) "hawkset finds bug 1 in every seed" true
+      (hk1.Harness.Table3.racy = 4);
+    let pm1 =
+      List.find
+        (fun x -> x.Harness.Table3.tool = "PMRace" && x.Harness.Table3.bug_id = 1)
+        r.Harness.Table3.rows
+    in
+    Alcotest.(check bool) "pmrace finds at most as many" true
+      (pm1.Harness.Table3.racy <= hk1.Harness.Table3.racy)
+
+  let figure6_small () =
+    let r = Harness.Figure6.run ~sizes:[ 200; 800 ] ~seed:11 () in
+    Alcotest.(check bool) "points for every app" true
+      (List.length r.Harness.Figure6.points >= 17);
+    List.iter
+      (fun (e : Pmapps.Registry.entry) ->
+        Alcotest.(check bool)
+          (e.Pmapps.Registry.reg_name ^ " sublinear-ish")
+          true
+          (Harness.Figure6.sublinear r ~app:e.Pmapps.Registry.reg_name))
+      Pmapps.Registry.all
+
+  let ablation_small () =
+    let r = Harness.Ablation.run ~ops:600 ~seed:11 () in
+    let find name =
+      List.find (fun x -> x.Harness.Ablation.config_name = name)
+        r.Harness.Ablation.rows
+    in
+    let full = find "full (HawkSet)" in
+    let trad = find "traditional lockset" in
+    let no_irh = find "no IRH" in
+    Alcotest.(check bool) "full detects more than traditional" true
+      (full.Harness.Ablation.detected_bugs > trad.Harness.Ablation.detected_bugs);
+    Alcotest.(check bool) "IRH reduces reports" true
+      (full.Harness.Ablation.total_reports <= no_irh.Harness.Ablation.total_reports)
+
+  let tests =
+    [
+      Alcotest.test_case "table2 small" `Slow table2_small;
+      Alcotest.test_case "table4 small" `Slow table4_small;
+      Alcotest.test_case "table3 tiny" `Slow table3_tiny;
+      Alcotest.test_case "figure6 small" `Slow figure6_small;
+      Alcotest.test_case "ablation small" `Slow ablation_small;
+    ]
+end
+
+let () =
+  Alcotest.run "harness"
+    [
+      ("metrics", Metric_tests.tests);
+      ("tables", Tables_tests.tests);
+      ("experiments", Experiment_tests.tests);
+    ]

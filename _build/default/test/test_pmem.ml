@@ -1,0 +1,298 @@
+(* Tests for the PM heap and worst-case cache simulator: persistence only
+   via flush+fence, crash images, non-temporal stores, allocator reuse. *)
+
+let tid n = Trace.Tid.of_int n
+let t0 = tid 0
+let t1 = tid 1
+
+let mk ?(size = 1 lsl 16) () = Pmem.Heap.create ~size ()
+
+module Layout_tests = struct
+  let line_of () =
+    Alcotest.(check int) "0" 0 (Pmem.Layout.line_of 63);
+    Alcotest.(check int) "64" 64 (Pmem.Layout.line_of 64);
+    Alcotest.(check int) "128" 128 (Pmem.Layout.line_of 191)
+
+  let lines_of_range () =
+    Alcotest.(check (list int)) "within one line" [ 0 ]
+      (Pmem.Layout.lines_of_range 8 8);
+    Alcotest.(check (list int)) "crossing" [ 0; 64 ]
+      (Pmem.Layout.lines_of_range 60 8);
+    Alcotest.(check (list int)) "empty" [] (Pmem.Layout.lines_of_range 10 0);
+    Alcotest.(check (list int)) "three lines" [ 64; 128; 192 ]
+      (Pmem.Layout.lines_of_range 64 129)
+
+  let words_of_range () =
+    Alcotest.(check (list int)) "one word" [ 2 ]
+      (Pmem.Layout.words_of_range 16 8);
+    Alcotest.(check (list int)) "straddle" [ 0; 1 ]
+      (Pmem.Layout.words_of_range 4 8)
+
+  let overlap () =
+    Alcotest.(check bool) "disjoint" false
+      (Pmem.Layout.ranges_overlap 0 8 8 8);
+    Alcotest.(check bool) "partial" true
+      (Pmem.Layout.ranges_overlap 0 9 8 8);
+    Alcotest.(check bool) "contained" true
+      (Pmem.Layout.ranges_overlap 0 64 16 4);
+    Alcotest.(check bool) "zero size" false
+      (Pmem.Layout.ranges_overlap 0 0 0 8)
+
+  let overlap_symmetric =
+    QCheck.Test.make ~name:"range overlap is symmetric" ~count:500
+      QCheck.(quad small_nat small_nat small_nat small_nat)
+      (fun (a1, s1, a2, s2) ->
+        Pmem.Layout.ranges_overlap a1 s1 a2 s2
+        = Pmem.Layout.ranges_overlap a2 s2 a1 s1)
+
+  let tests =
+    [
+      Alcotest.test_case "line_of" `Quick line_of;
+      Alcotest.test_case "lines_of_range" `Quick lines_of_range;
+      Alcotest.test_case "words_of_range" `Quick words_of_range;
+      Alcotest.test_case "ranges_overlap" `Quick overlap;
+      QCheck_alcotest.to_alcotest overlap_symmetric;
+    ]
+end
+
+module Alloc_tests = struct
+  let alignment () =
+    let h = mk () in
+    let a = Pmem.Heap.alloc ~align:64 h 100 in
+    Alcotest.(check int) "aligned" 0 (a mod 64);
+    let b = Pmem.Heap.alloc h 8 in
+    Alcotest.(check bool) "disjoint" true (b >= a + 100)
+
+  let null_page_reserved () =
+    let h = mk () in
+    let a = Pmem.Heap.alloc h 8 in
+    Alcotest.(check bool) "address 0 never allocated" true (a > 0)
+
+  let reuse_lifo () =
+    let h = mk () in
+    let a = Pmem.Heap.alloc h 32 in
+    let b = Pmem.Heap.alloc h 32 in
+    Pmem.Heap.free h ~addr:a ~size:32;
+    Pmem.Heap.free h ~addr:b ~size:32;
+    Alcotest.(check int) "most recently freed first" b (Pmem.Heap.alloc h 32);
+    Alcotest.(check int) "then the other" a (Pmem.Heap.alloc h 32)
+
+  let reuse_keeps_contents () =
+    let h = mk () in
+    let a = Pmem.Heap.alloc h 8 in
+    Pmem.Heap.write_i64 h a 0xDEADL;
+    Pmem.Heap.free h ~addr:a ~size:8;
+    let b = Pmem.Heap.alloc h 8 in
+    Alcotest.(check int) "same block" a b;
+    Alcotest.(check int64) "old contents visible" 0xDEADL
+      (Pmem.Heap.read_i64 h b)
+
+  let out_of_memory () =
+    let h = Pmem.Heap.create ~size:256 () in
+    Alcotest.check_raises "oom" Out_of_memory (fun () ->
+        ignore (Pmem.Heap.alloc h 1024))
+
+  let bad_args () =
+    let h = mk () in
+    Alcotest.check_raises "size" (Invalid_argument "Heap.alloc: non-positive size")
+      (fun () -> ignore (Pmem.Heap.alloc h 0));
+    Alcotest.check_raises "align"
+      (Invalid_argument "Heap.alloc: alignment must be a power of two")
+      (fun () -> ignore (Pmem.Heap.alloc ~align:3 h 8))
+
+  let tests =
+    [
+      Alcotest.test_case "alignment" `Quick alignment;
+      Alcotest.test_case "null page reserved" `Quick null_page_reserved;
+      Alcotest.test_case "LIFO reuse" `Quick reuse_lifo;
+      Alcotest.test_case "reuse keeps contents" `Quick reuse_keeps_contents;
+      Alcotest.test_case "out of memory" `Quick out_of_memory;
+      Alcotest.test_case "bad arguments" `Quick bad_args;
+    ]
+end
+
+module Persistence_tests = struct
+  let store h ?(tid = t0) ?(nt = false) addr v =
+    Pmem.Heap.write_i64 h addr v;
+    Pmem.Heap.note_store h ~tid ~addr ~size:8 ~non_temporal:nt
+
+  let persist h ?(tid = t0) addr =
+    Pmem.Heap.flush h ~tid ~line:(Pmem.Layout.line_of addr);
+    Pmem.Heap.fence h ~tid
+
+  let store_alone_not_persistent () =
+    let h = mk () in
+    store h 128 42L;
+    Alcotest.(check bool) "dirty" false
+      (Pmem.Heap.persisted_range h ~addr:128 ~size:8);
+    Alcotest.(check int64) "visible" 42L (Pmem.Heap.read_i64 h 128);
+    Alcotest.(check int64) "not in crash image" 0L
+      (Bytes.get_int64_le (Pmem.Heap.crash_image h) 128)
+
+  let flush_without_fence_not_persistent () =
+    let h = mk () in
+    store h 128 42L;
+    Pmem.Heap.flush h ~tid:t0 ~line:128;
+    Alcotest.(check bool) "still not guaranteed" false
+      (Pmem.Heap.persisted_range h ~addr:128 ~size:8);
+    Alcotest.(check int64) "crash loses it" 0L
+      (Bytes.get_int64_le (Pmem.Heap.crash_image h) 128)
+
+  let fence_without_flush_not_persistent () =
+    let h = mk () in
+    store h 128 42L;
+    Pmem.Heap.fence h ~tid:t0;
+    Alcotest.(check bool) "still dirty" false
+      (Pmem.Heap.persisted_range h ~addr:128 ~size:8)
+
+  let flush_plus_fence_persists () =
+    let h = mk () in
+    store h 128 42L;
+    persist h 128;
+    Alcotest.(check bool) "persisted" true
+      (Pmem.Heap.persisted_range h ~addr:128 ~size:8);
+    Alcotest.(check int64) "in crash image" 42L
+      (Bytes.get_int64_le (Pmem.Heap.crash_image h) 128)
+
+  let fence_by_other_thread_does_not_complete () =
+    let h = mk () in
+    store h 128 42L;
+    Pmem.Heap.flush h ~tid:t0 ~line:128;
+    Pmem.Heap.fence h ~tid:t1;
+    (* Worst case: T1's sfence does not order T0's pending flush. *)
+    Alcotest.(check bool) "not persisted" false
+      (Pmem.Heap.persisted_range h ~addr:128 ~size:8)
+
+  let store_after_flush_redirties () =
+    let h = mk () in
+    store h 128 1L;
+    Pmem.Heap.flush h ~tid:t0 ~line:128;
+    store h 136 2L (* same line, after the flush *);
+    Pmem.Heap.fence h ~tid:t0;
+    (* The flushed snapshot persisted (value 1), but the newer store is
+       not covered by that flush. *)
+    let img = Pmem.Heap.crash_image h in
+    Alcotest.(check int64) "snapshot persisted" 1L (Bytes.get_int64_le img 128);
+    Alcotest.(check int64) "late store lost" 0L (Bytes.get_int64_le img 136);
+    Alcotest.(check bool) "line still dirty" false
+      (Pmem.Heap.persisted_range h ~addr:136 ~size:8)
+
+  let flush_clean_line_noop () =
+    let h = mk () in
+    Pmem.Heap.flush h ~tid:t0 ~line:0;
+    Pmem.Heap.fence h ~tid:t0;
+    Alcotest.(check int) "no dirty lines" 0 (Pmem.Heap.dirty_lines h)
+
+  let unaligned_flush_rejected () =
+    let h = mk () in
+    Alcotest.check_raises "unaligned"
+      (Invalid_argument "Heap.flush: address is not line-aligned") (fun () ->
+        Pmem.Heap.flush h ~tid:t0 ~line:12)
+
+  let nt_store_persists_on_fence () =
+    let h = mk () in
+    store h ~nt:true 128 7L;
+    Alcotest.(check bool) "before fence: not guaranteed" false
+      (Pmem.Heap.persisted_range h ~addr:128 ~size:8);
+    Pmem.Heap.fence h ~tid:t0;
+    Alcotest.(check bool) "after fence: persisted, no flush needed" true
+      (Pmem.Heap.persisted_range h ~addr:128 ~size:8);
+    Alcotest.(check int64) "crash image" 7L
+      (Bytes.get_int64_le (Pmem.Heap.crash_image h) 128)
+
+  let nt_fence_by_other_thread () =
+    let h = mk () in
+    store h ~nt:true ~tid:t1 128 7L;
+    Pmem.Heap.fence h ~tid:t0;
+    Alcotest.(check bool) "other thread's fence does not drain" false
+      (Pmem.Heap.persisted_range h ~addr:128 ~size:8)
+
+  let dirty_conflict_detection () =
+    let h = mk () in
+    store h ~tid:t0 128 1L;
+    (match Pmem.Heap.dirty_conflict h ~tid:t1 ~addr:128 ~size:8 with
+    | Some w -> Alcotest.(check int) "writer is T0" 0 (Trace.Tid.to_int w)
+    | None -> Alcotest.fail "expected conflict");
+    Alcotest.(check bool) "own store: no conflict" true
+      (Pmem.Heap.dirty_conflict h ~tid:t0 ~addr:128 ~size:8 = None);
+    persist h 128;
+    Alcotest.(check bool) "persisted: no conflict" true
+      (Pmem.Heap.dirty_conflict h ~tid:t1 ~addr:128 ~size:8 = None)
+
+  let crash_image_prefix_consistency =
+    QCheck.Test.make
+      ~name:"crash image holds the last flushed+fenced value per word"
+      ~count:100
+      QCheck.(small_list (pair (int_bound 62) (int_bound 1000)))
+      (fun writes ->
+        let h = Pmem.Heap.create ~size:(1 lsl 12) () in
+        (* Track our own model of the persistent value per word. *)
+        let model = Hashtbl.create 16 in
+        List.iter
+          (fun (word, v) ->
+            let addr = word * 8 in
+            let v = Int64.of_int v in
+            Pmem.Heap.write_i64 h addr v;
+            Pmem.Heap.note_store h ~tid:t0 ~addr ~size:8 ~non_temporal:false;
+            if v <> 0L && Int64.to_int v mod 2 = 0 then begin
+              Pmem.Heap.flush h ~tid:t0 ~line:(Pmem.Layout.line_of addr);
+              Pmem.Heap.fence h ~tid:t0;
+              (* The fence persisted whole lines: every word of that line
+                 takes its current volatile value in the model. *)
+              let base = Pmem.Layout.line_of addr in
+              for w = 0 to (Pmem.Layout.line_size / 8) - 1 do
+                Hashtbl.replace model
+                  ((base / 8) + w)
+                  (Pmem.Heap.read_i64 h (base + (w * 8)))
+              done
+            end)
+          writes;
+        let img = Pmem.Heap.crash_image h in
+        Hashtbl.fold
+          (fun word v ok ->
+            ok && Bytes.get_int64_le img (word * 8) = v)
+          model true)
+
+  let of_image_roundtrip () =
+    let h = mk () in
+    store h 128 9L;
+    persist h 128;
+    store h 256 5L (* unpersisted *);
+    let h' = Pmem.Heap.of_image (Pmem.Heap.crash_image h) in
+    Alcotest.(check int64) "persisted survives" 9L (Pmem.Heap.read_i64 h' 128);
+    Alcotest.(check int64) "unpersisted lost" 0L (Pmem.Heap.read_i64 h' 256);
+    Alcotest.(check int) "clean cache" 0 (Pmem.Heap.dirty_lines h')
+
+  let tests =
+    [
+      Alcotest.test_case "store alone is volatile" `Quick
+        store_alone_not_persistent;
+      Alcotest.test_case "flush without fence" `Quick
+        flush_without_fence_not_persistent;
+      Alcotest.test_case "fence without flush" `Quick
+        fence_without_flush_not_persistent;
+      Alcotest.test_case "flush+fence persists" `Quick flush_plus_fence_persists;
+      Alcotest.test_case "cross-thread fence" `Quick
+        fence_by_other_thread_does_not_complete;
+      Alcotest.test_case "store after flush re-dirties" `Quick
+        store_after_flush_redirties;
+      Alcotest.test_case "flush of clean line" `Quick flush_clean_line_noop;
+      Alcotest.test_case "unaligned flush rejected" `Quick
+        unaligned_flush_rejected;
+      Alcotest.test_case "non-temporal store" `Quick nt_store_persists_on_fence;
+      Alcotest.test_case "nt store, other thread's fence" `Quick
+        nt_fence_by_other_thread;
+      Alcotest.test_case "dirty conflict detection" `Quick
+        dirty_conflict_detection;
+      QCheck_alcotest.to_alcotest crash_image_prefix_consistency;
+      Alcotest.test_case "of_image roundtrip" `Quick of_image_roundtrip;
+    ]
+end
+
+let () =
+  Alcotest.run "pmem"
+    [
+      ("layout", Layout_tests.tests);
+      ("alloc", Alloc_tests.tests);
+      ("persistence", Persistence_tests.tests);
+    ]

@@ -1,0 +1,358 @@
+(* Unit and property tests for the trace substrate: ids, sites, events,
+   trace buffers and the interning tables. *)
+
+let site = Trace.Site.v
+
+module Tid_tests = struct
+  let roundtrip () =
+    Alcotest.(check int) "to_int (of_int 7)" 7
+      (Trace.Tid.to_int (Trace.Tid.of_int 7))
+
+  let main_is_zero () =
+    Alcotest.(check int) "main" 0 (Trace.Tid.to_int Trace.Tid.main)
+
+  let negative_rejected () =
+    Alcotest.check_raises "negative"
+      (Invalid_argument "Tid.of_int: negative thread id") (fun () ->
+        ignore (Trace.Tid.of_int (-1)))
+
+  let equality () =
+    Alcotest.(check bool) "equal" true
+      (Trace.Tid.equal (Trace.Tid.of_int 3) (Trace.Tid.of_int 3));
+    Alcotest.(check bool) "not equal" false
+      (Trace.Tid.equal (Trace.Tid.of_int 3) (Trace.Tid.of_int 4))
+
+  let tests =
+    [
+      Alcotest.test_case "roundtrip" `Quick roundtrip;
+      Alcotest.test_case "main is zero" `Quick main_is_zero;
+      Alcotest.test_case "negative rejected" `Quick negative_rejected;
+      Alcotest.test_case "equality" `Quick equality;
+    ]
+end
+
+module Site_tests = struct
+  let of_pos () =
+    let s = Trace.Site.of_pos __POS__ in
+    Alcotest.(check string) "file" "test/test_trace.ml" s.Trace.Site.file;
+    Alcotest.(check bool) "line positive" true (s.Trace.Site.line > 0)
+
+  let location () =
+    Alcotest.(check string) "location" "a.ml:12"
+      (Trace.Site.location (site "a.ml" 12))
+
+  let equal_ignores_nothing () =
+    Alcotest.(check bool) "same" true
+      (Trace.Site.equal (site "a.ml" 1) (site "a.ml" 1));
+    Alcotest.(check bool) "diff line" false
+      (Trace.Site.equal (site "a.ml" 1) (site "a.ml" 2));
+    Alcotest.(check bool) "diff frames" false
+      (Trace.Site.equal
+         (site ~frames:[ "f" ] "a.ml" 1)
+         (site ~frames:[ "g" ] "a.ml" 1))
+
+  let compare_total_order () =
+    let a = site "a.ml" 1 and b = site "b.ml" 1 in
+    Alcotest.(check bool) "a < b" true (Trace.Site.compare a b < 0);
+    Alcotest.(check bool) "b > a" true (Trace.Site.compare b a > 0);
+    Alcotest.(check int) "a = a" 0 (Trace.Site.compare a a)
+
+  let backtrace_rendering () =
+    let s = site ~frames:[ "inner"; "outer" ] "a.ml" 3 in
+    let str = Format.asprintf "%a" Trace.Site.pp_backtrace s in
+    Alcotest.(check bool) "mentions frames" true
+      (String.length str > String.length "a.ml:3")
+
+  let tests =
+    [
+      Alcotest.test_case "of_pos uses __POS__" `Quick of_pos;
+      Alcotest.test_case "location format" `Quick location;
+      Alcotest.test_case "equality" `Quick equal_ignores_nothing;
+      Alcotest.test_case "compare is a total order" `Quick compare_total_order;
+      Alcotest.test_case "backtrace rendering" `Quick backtrace_rendering;
+    ]
+end
+
+module Event_tests = struct
+  let s = site "x.ml" 1
+
+  let tid_of_each_kind () =
+    let t0 = Trace.Tid.of_int 0 and t1 = Trace.Tid.of_int 1 in
+    let check name ev expect =
+      Alcotest.(check int) name expect (Trace.Tid.to_int (Trace.Event.tid ev))
+    in
+    check "store"
+      (Trace.Event.Store
+         { tid = t1; addr = 0; size = 8; site = s; non_temporal = false })
+      1;
+    check "load" (Trace.Event.Load { tid = t1; addr = 0; size = 8; site = s }) 1;
+    check "flush"
+      (Trace.Event.Flush { tid = t1; line = 0; kind = Trace.Event.Clwb; site = s })
+      1;
+    check "fence" (Trace.Event.Fence { tid = t1; site = s }) 1;
+    check "create" (Trace.Event.Thread_create { parent = t0; child = t1 }) 0;
+    check "join" (Trace.Event.Thread_join { waiter = t0; joined = t1 }) 0
+
+  let pm_access_classification () =
+    let t = Trace.Tid.main in
+    Alcotest.(check bool) "store" true
+      (Trace.Event.is_pm_access
+         (Trace.Event.Store
+            { tid = t; addr = 0; size = 1; site = s; non_temporal = false }));
+    Alcotest.(check bool) "fence" false
+      (Trace.Event.is_pm_access (Trace.Event.Fence { tid = t; site = s }))
+
+  let tests =
+    [
+      Alcotest.test_case "tid of each kind" `Quick tid_of_each_kind;
+      Alcotest.test_case "is_pm_access" `Quick pm_access_classification;
+    ]
+end
+
+module Tracebuf_tests = struct
+  let s = site "x.ml" 1
+  let t0 = Trace.Tid.main
+
+  let mk_load i =
+    Trace.Event.Load { tid = t0; addr = i; size = 8; site = s }
+
+  let push_get () =
+    let tb = Trace.Tracebuf.create ~capacity:2 () in
+    for i = 0 to 99 do
+      Trace.Tracebuf.push tb (mk_load i)
+    done;
+    Alcotest.(check int) "length" 100 (Trace.Tracebuf.length tb);
+    (match Trace.Tracebuf.get tb 57 with
+    | Trace.Event.Load { addr; _ } -> Alcotest.(check int) "addr" 57 addr
+    | _ -> Alcotest.fail "wrong event");
+    Alcotest.check_raises "oob"
+      (Invalid_argument "Tracebuf.get: index out of bounds") (fun () ->
+        ignore (Trace.Tracebuf.get tb 100))
+
+  let of_list_roundtrip () =
+    let evs = List.init 10 mk_load in
+    let tb = Trace.Tracebuf.of_list evs in
+    Alcotest.(check int) "length" 10 (Trace.Tracebuf.length tb);
+    Alcotest.(check bool) "roundtrip" true
+      (List.for_all2
+         (fun a b -> a == b)
+         evs (Trace.Tracebuf.to_list tb))
+
+  let stats () =
+    let tb =
+      Trace.Tracebuf.of_list
+        [
+          mk_load 0;
+          Trace.Event.Store
+            { tid = t0; addr = 0; size = 8; site = s; non_temporal = false };
+          Trace.Event.Flush
+            { tid = t0; line = 0; kind = Trace.Event.Clwb; site = s };
+          Trace.Event.Fence { tid = t0; site = s };
+          Trace.Event.Lock_acquire
+            { tid = t0; lock = Trace.Lock_id.of_int 0; site = s };
+          Trace.Event.Lock_release
+            { tid = t0; lock = Trace.Lock_id.of_int 0; site = s };
+          Trace.Event.Thread_create
+            { parent = t0; child = Trace.Tid.of_int 1 };
+        ]
+    in
+    let st = Trace.Tracebuf.stats tb in
+    Alcotest.(check int) "stores" 1 st.Trace.Tracebuf.stores;
+    Alcotest.(check int) "loads" 1 st.Trace.Tracebuf.loads;
+    Alcotest.(check int) "flushes" 1 st.Trace.Tracebuf.flushes;
+    Alcotest.(check int) "fences" 1 st.Trace.Tracebuf.fences;
+    Alcotest.(check int) "lock ops" 2 st.Trace.Tracebuf.lock_ops;
+    Alcotest.(check int) "thread ops" 1 st.Trace.Tracebuf.thread_ops
+
+  let fold_counts () =
+    let tb = Trace.Tracebuf.of_list (List.init 25 mk_load) in
+    Alcotest.(check int) "fold" 25
+      (Trace.Tracebuf.fold (fun acc _ -> acc + 1) 0 tb)
+
+  let tests =
+    [
+      Alcotest.test_case "push/get with growth" `Quick push_get;
+      Alcotest.test_case "of_list roundtrip" `Quick of_list_roundtrip;
+      Alcotest.test_case "stats" `Quick stats;
+      Alcotest.test_case "fold" `Quick fold_counts;
+    ]
+end
+
+module Interner_tests = struct
+  module I = Trace.Interner.Make (struct
+    type t = string
+
+    let equal = String.equal
+    let hash = Hashtbl.hash
+  end)
+
+  let dedup () =
+    let t = I.create () in
+    let a = I.intern t "hello" in
+    let b = I.intern t "world" in
+    let a' = I.intern t "hello" in
+    Alcotest.(check int) "same id" a a';
+    Alcotest.(check bool) "distinct ids" true (a <> b);
+    Alcotest.(check int) "count" 2 (I.count t);
+    Alcotest.(check string) "get" "world" (I.get t b)
+
+  let unknown_id () =
+    let t = I.create () in
+    Alcotest.check_raises "unknown" (Invalid_argument "Interner.get: unknown id")
+      (fun () -> ignore (I.get t 0))
+
+  let dense_ids =
+    QCheck.Test.make ~name:"interner ids are dense and stable" ~count:100
+      QCheck.(small_list small_string)
+      (fun strings ->
+        let t = I.create () in
+        let ids = List.map (I.intern t) strings in
+        (* Re-interning yields identical ids. *)
+        let ids' = List.map (I.intern t) strings in
+        ids = ids'
+        && List.for_all (fun id -> id >= 0 && id < I.count t) ids
+        && List.for_all2
+             (fun s id -> String.equal (I.get t id) s)
+             strings ids)
+
+  let tests =
+    [
+      Alcotest.test_case "dedup" `Quick dedup;
+      Alcotest.test_case "unknown id" `Quick unknown_id;
+      QCheck_alcotest.to_alcotest dense_ids;
+    ]
+end
+
+module Trace_io_tests = struct
+  let t0 = Trace.Tid.main
+  let t1 = Trace.Tid.of_int 1
+
+  let sample_events =
+    [
+      Trace.Event.Store
+        { tid = t0; addr = 128; size = 8;
+          site = Trace.Site.v ~frames:[ "insert"; "main" ] "a.ml" 10;
+          non_temporal = false };
+      Trace.Event.Store
+        { tid = t1; addr = 64; size = 4; site = Trace.Site.v "b.ml" 2;
+          non_temporal = true };
+      Trace.Event.Load
+        { tid = t1; addr = 128; size = 8; site = Trace.Site.v "a.ml" 99 };
+      Trace.Event.Flush
+        { tid = t0; line = 128; kind = Trace.Event.Clflushopt;
+          site = Trace.Site.v "a.ml" 11 };
+      Trace.Event.Fence { tid = t0; site = Trace.Site.v "a.ml" 12 };
+      Trace.Event.Lock_acquire
+        { tid = t1; lock = Trace.Lock_id.of_int 3; site = Trace.Site.v "c.ml" 5 };
+      Trace.Event.Lock_release
+        { tid = t1; lock = Trace.Lock_id.of_int 3; site = Trace.Site.v "c.ml" 6 };
+      Trace.Event.Thread_create { parent = t0; child = t1 };
+      Trace.Event.Thread_join { waiter = t0; joined = t1 };
+    ]
+
+  let line_roundtrip () =
+    List.iter
+      (fun ev ->
+        let line = Trace.Trace_io.event_to_line ev in
+        let ev' = Trace.Trace_io.event_of_line line in
+        Alcotest.(check string) line line (Trace.Trace_io.event_to_line ev'))
+      sample_events
+
+  let file_roundtrip () =
+    let path = Filename.temp_file "hawkset" ".trace" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let t = Trace.Tracebuf.of_list sample_events in
+        Trace.Trace_io.save path t;
+        let t' = Trace.Trace_io.load path in
+        Alcotest.(check int) "length" (Trace.Tracebuf.length t)
+          (Trace.Tracebuf.length t');
+        List.iteri
+          (fun i ev ->
+            Alcotest.(check string)
+              (Printf.sprintf "event %d" i)
+              (Trace.Trace_io.event_to_line ev)
+              (Trace.Trace_io.event_to_line (Trace.Tracebuf.get t' i)))
+          sample_events)
+
+  let comments_and_blanks_skipped () =
+    let path = Filename.temp_file "hawkset" ".trace" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc "# a comment
+
+M 0 x.ml:1
+";
+        close_out oc;
+        Alcotest.(check int) "one event" 1
+          (Trace.Tracebuf.length (Trace.Trace_io.load path)))
+
+  let parse_errors () =
+    let bad line =
+      try
+        ignore (Trace.Trace_io.event_of_line line);
+        Alcotest.failf "expected parse error for %S" line
+      with Trace.Trace_io.Parse_error _ -> ()
+    in
+    bad "X 0 1 2";
+    bad "S 0 nonint 8 0 a.ml:1";
+    bad "S 0 1 8 0 nodolon";
+    bad "F 0 64 notakind a.ml:1"
+
+  let analysis_survives_roundtrip () =
+    (* Serialize a racy trace; the analysis result must be identical. *)
+    let evs =
+      [
+        Trace.Event.Store
+          { tid = t0; addr = 128; size = 8; site = Trace.Site.v "r.ml" 1;
+            non_temporal = false };
+        Trace.Event.Thread_create { parent = t0; child = t1 };
+        Trace.Event.Load
+          { tid = t1; addr = 128; size = 8; site = Trace.Site.v "r.ml" 2 };
+      ]
+    in
+    let path = Filename.temp_file "hawkset" ".trace" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let t = Trace.Tracebuf.of_list evs in
+        Trace.Trace_io.save path t;
+        let t' = Trace.Trace_io.load path in
+        Alcotest.(check int) "same verdict" 1
+          (Hawkset.Report.count
+             (Hawkset.Pipeline.races ~config:Hawkset.Pipeline.no_irh t')))
+
+  let junk_never_crashes =
+    QCheck.Test.make ~name:"malformed lines raise Parse_error, never crash"
+      ~count:300
+      QCheck.(string_of_size (QCheck.Gen.int_bound 40))
+      (fun line ->
+        match Trace.Trace_io.event_of_line line with
+        | _ -> true
+        | exception Trace.Trace_io.Parse_error _ -> true)
+
+  let tests =
+    [
+      QCheck_alcotest.to_alcotest junk_never_crashes;
+      Alcotest.test_case "line roundtrip" `Quick line_roundtrip;
+      Alcotest.test_case "file roundtrip" `Quick file_roundtrip;
+      Alcotest.test_case "comments and blanks" `Quick comments_and_blanks_skipped;
+      Alcotest.test_case "parse errors" `Quick parse_errors;
+      Alcotest.test_case "analysis survives roundtrip" `Quick
+        analysis_survives_roundtrip;
+    ]
+end
+
+let () =
+  Alcotest.run "trace"
+    [
+      ("tid", Tid_tests.tests);
+      ("site", Site_tests.tests);
+      ("event", Event_tests.tests);
+      ("tracebuf", Tracebuf_tests.tests);
+      ("interner", Interner_tests.tests);
+      ("trace_io", Trace_io_tests.tests);
+    ]

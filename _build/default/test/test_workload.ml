@@ -1,0 +1,198 @@
+(* Tests for the workload generators: YCSB mixes, zipfian sampling, the
+   PMRace seed corpus and its mutation engine. *)
+
+module Zipf_tests = struct
+  let skewed () =
+    let z = Workload.Zipf.create 100 in
+    let prng = Machine.Prng.create 1 in
+    let counts = Array.make 100 0 in
+    for _ = 1 to 10_000 do
+      let v = Workload.Zipf.sample z prng in
+      counts.(v) <- counts.(v) + 1
+    done;
+    Alcotest.(check bool) "rank 0 most popular" true
+      (counts.(0) > counts.(10) && counts.(10) > counts.(70));
+    Alcotest.(check bool) "head heavy" true (counts.(0) > 500)
+
+  let bounds =
+    QCheck.Test.make ~name:"samples within bounds" ~count:200
+      QCheck.(pair (int_range 1 500) small_int)
+      (fun (n, seed) ->
+        let z = Workload.Zipf.create n in
+        let prng = Machine.Prng.create seed in
+        let v = Workload.Zipf.sample z prng in
+        v >= 0 && v < n)
+
+  let invalid () =
+    Alcotest.check_raises "zero size"
+      (Invalid_argument "Zipf.create: non-positive size") (fun () ->
+        ignore (Workload.Zipf.create 0))
+
+  let tests =
+    [
+      Alcotest.test_case "skew" `Quick skewed;
+      QCheck_alcotest.to_alcotest bounds;
+      Alcotest.test_case "invalid size" `Quick invalid;
+    ]
+end
+
+module Ycsb_tests = struct
+  let mix_proportions () =
+    let spec = Workload.Ycsb.paper_mix ~ops:10_000 in
+    let w = Workload.Ycsb.generate ~seed:1 spec in
+    let i = ref 0 and u = ref 0 and g = ref 0 and d = ref 0 in
+    Array.iter
+      (List.iter (fun op ->
+           match op with
+           | Workload.Op.Insert _ -> incr i
+           | Workload.Op.Update _ -> incr u
+           | Workload.Op.Get _ -> incr g
+           | Workload.Op.Delete _ -> incr d))
+      w.Workload.Ycsb.per_thread;
+    let total = !i + !u + !g + !d in
+    Alcotest.(check int) "total main ops" 10_000 total;
+    let pct n = 100 * n / total in
+    Alcotest.(check bool) "30/30/30/10 mix" true
+      (abs (pct !i - 30) <= 3 && abs (pct !u - 30) <= 3
+      && abs (pct !g - 30) <= 3
+      && abs (pct !d - 10) <= 3)
+
+  let load_phase () =
+    let w = Workload.Ycsb.generate ~seed:2 (Workload.Ycsb.paper_mix ~ops:100) in
+    Alcotest.(check int) "1k load inserts" 1000 (List.length w.Workload.Ycsb.load);
+    Alcotest.(check bool) "all inserts" true
+      (List.for_all
+         (fun op -> match op with Workload.Op.Insert _ -> true | _ -> false)
+         w.Workload.Ycsb.load);
+    let keys = List.map Workload.Op.kv_key w.Workload.Ycsb.load in
+    Alcotest.(check int) "distinct keys" 1000
+      (List.length (List.sort_uniq compare keys))
+
+  let determinism () =
+    let spec = Workload.Ycsb.paper_mix ~ops:500 in
+    let a = Workload.Ycsb.generate ~seed:9 spec in
+    let b = Workload.Ycsb.generate ~seed:9 spec in
+    let c = Workload.Ycsb.generate ~seed:10 spec in
+    Alcotest.(check bool) "same seed" true (a = b);
+    Alcotest.(check bool) "different seed" true (a <> c)
+
+  let invalid_mix () =
+    let spec = { (Workload.Ycsb.paper_mix ~ops:10) with insert_pct = 50 } in
+    Alcotest.check_raises "bad mix"
+      (Invalid_argument "Ycsb.generate: operation mix must sum to 100")
+      (fun () -> ignore (Workload.Ycsb.generate ~seed:0 spec))
+
+  let thread_split =
+    QCheck.Test.make ~name:"ops split across threads evenly" ~count:50
+      QCheck.(pair (int_range 8 2000) (int_range 1 16))
+      (fun (ops, threads) ->
+        let spec = { (Workload.Ycsb.paper_mix ~ops) with threads } in
+        let w = Workload.Ycsb.generate ~seed:3 spec in
+        let lens =
+          Array.to_list (Array.map List.length w.Workload.Ycsb.per_thread)
+        in
+        List.fold_left ( + ) 0 lens = ops
+        && List.for_all
+             (fun l -> abs (l - (ops / threads)) <= 1)
+             lens)
+
+  let memcached_and_madfs () =
+    let mc = Workload.Ycsb.memcached_mix ~seed:4 ~ops:800 ~threads:8 in
+    let total =
+      Array.fold_left (fun acc l -> acc + List.length l) 0 mc
+    in
+    Alcotest.(check int) "mc ops + 1000-set load phase" 1800 total;
+    let fs = Workload.Ycsb.madfs_mix ~seed:4 ~ops:800 ~threads:8 ~file_blocks:32 in
+    let writes =
+      Array.fold_left
+        (fun acc l ->
+          acc
+          + List.length
+              (List.filter
+                 (fun op ->
+                   match op with Workload.Op.Fs_write _ -> true | _ -> false)
+                 l))
+        0 fs
+    in
+    Alcotest.(check bool) "~80% writes" true (writes > 500 && writes < 750)
+
+  let zipfian_spec () =
+    let spec =
+      { (Workload.Ycsb.paper_mix ~ops:4000) with zipfian = true; key_space = 64 }
+    in
+    let w = Workload.Ycsb.generate ~seed:6 spec in
+    let counts = Hashtbl.create 64 in
+    Array.iter
+      (List.iter (fun op ->
+           let k = Workload.Op.kv_key op in
+           Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))))
+      w.Workload.Ycsb.per_thread;
+    let hot = Option.value ~default:0 (Hashtbl.find_opt counts 1) in
+    let cold = Option.value ~default:0 (Hashtbl.find_opt counts 60) in
+    Alcotest.(check bool)
+      (Printf.sprintf "rank-1 key hot (%d vs %d)" hot cold)
+      true (hot > 4 * max 1 cold)
+
+  let tests =
+    [
+      Alcotest.test_case "mix proportions" `Quick mix_proportions;
+      Alcotest.test_case "zipfian keys" `Quick zipfian_spec;
+      Alcotest.test_case "load phase" `Quick load_phase;
+      Alcotest.test_case "determinism" `Quick determinism;
+      Alcotest.test_case "invalid mix" `Quick invalid_mix;
+      QCheck_alcotest.to_alcotest thread_split;
+      Alcotest.test_case "memcached and madfs mixes" `Quick memcached_and_madfs;
+    ]
+end
+
+module Seeds_tests = struct
+  let corpus_shape () =
+    let c = Workload.Seeds.corpus ~count:24 ~ops_per_seed:400 () in
+    Alcotest.(check int) "24 seeds" 24 (Array.length c);
+    Array.iter
+      (fun seed -> Alcotest.(check int) "400 ops" 400 (List.length seed))
+      c;
+    Alcotest.(check bool) "seeds differ" true (c.(0) <> c.(1))
+
+  let corpus_deterministic () =
+    let a = Workload.Seeds.corpus ~count:4 () in
+    let b = Workload.Seeds.corpus ~count:4 () in
+    Alcotest.(check bool) "same corpus" true (a = b)
+
+  let mutation_changes_but_preserves_size =
+    QCheck.Test.make ~name:"mutation keeps rough size" ~count:100
+      QCheck.small_int
+      (fun seed ->
+        let prng = Machine.Prng.create seed in
+        let base = (Workload.Seeds.corpus ~count:1 ~ops_per_seed:100 ()).(0) in
+        let m = Workload.Seeds.mutate prng base in
+        let n = List.length m in
+        n >= 80 && n <= 120)
+
+  let split_round_robin () =
+    let ops = (Workload.Seeds.corpus ~count:1 ~ops_per_seed:40 ()).(0) in
+    let per_thread = Workload.Seeds.split ~threads:8 ops in
+    Alcotest.(check int) "threads" 8 (Array.length per_thread);
+    Alcotest.(check int) "all ops dealt" 40
+      (Array.fold_left (fun acc l -> acc + List.length l) 0 per_thread);
+    (* Round-robin: thread 0 gets ops 0, 8, 16, ... in order. *)
+    Alcotest.(check bool) "thread 0 order" true
+      (per_thread.(0)
+      = List.filteri (fun i _ -> i mod 8 = 0) ops)
+
+  let tests =
+    [
+      Alcotest.test_case "corpus shape" `Quick corpus_shape;
+      Alcotest.test_case "corpus deterministic" `Quick corpus_deterministic;
+      QCheck_alcotest.to_alcotest mutation_changes_but_preserves_size;
+      Alcotest.test_case "split round robin" `Quick split_round_robin;
+    ]
+end
+
+let () =
+  Alcotest.run "workload"
+    [
+      ("zipf", Zipf_tests.tests);
+      ("ycsb", Ycsb_tests.tests);
+      ("seeds", Seeds_tests.tests);
+    ]
