@@ -138,6 +138,59 @@ let ablation ~full =
   let ops = if full then 10_000 else 1_500 in
   print_string (Harness.Ablation.to_string (Harness.Ablation.run ~ops ()))
 
+(* ---- pipeline perf-trajectory emitter (BENCH_pipeline.json) ----
+   One instrumented fast-fair run per workload size: per-stage seconds,
+   peak live heap and the deterministic counter snapshot, machine-readable
+   so CI can archive the trajectory per commit. *)
+
+let bench_json ~full =
+  let sizes = if full then [ 1_000; 10_000; 100_000 ] else [ 1_000; 4_000 ] in
+  let entry =
+    match Pmapps.Registry.find "fast-fair" with
+    | Some e -> e
+    | None -> failwith "fast-fair not registered"
+  in
+  let points =
+    List.map
+      (fun ops ->
+        let r = Harness.Stats.instrumented_run ~entry ~seed:42 ~ops () in
+        let m = r.Harness.Stats.manifest in
+        Obs.Json.obj
+          [
+            ("ops", Obs.Json.int ops);
+            ( "stages",
+              Obs.Json.obj
+                (List.map
+                   (fun (s : Obs.Manifest.stage) ->
+                     (s.Obs.Manifest.stage_name,
+                      Obs.Json.float s.Obs.Manifest.stage_seconds))
+                   m.Obs.Manifest.stages) );
+            ("peak_live_mb", Obs.Json.float r.Harness.Stats.peak_mb);
+            ("final_live_mb", Obs.Json.float r.Harness.Stats.final_live_mb);
+            ( "counters",
+              Obs.Json.obj
+                (List.map
+                   (fun (k, v) -> (k, Obs.Json.int v))
+                   m.Obs.Manifest.counters) );
+          ])
+      sizes
+  in
+  let doc =
+    Obs.Json.obj
+      [
+        ("schema", Obs.Json.str "hawkset.bench_pipeline/1");
+        ("app", Obs.Json.str "fast-fair");
+        ("seed", Obs.Json.int 42);
+        ("points", Obs.Json.arr points);
+      ]
+  in
+  let file = "BENCH_pipeline.json" in
+  let oc = open_out file in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d points)\n" file (List.length points)
+
 let () =
   let args = Array.to_list Sys.argv in
   let full = List.mem "full" args || List.mem "--full" args in
@@ -145,7 +198,7 @@ let () =
   let any =
     List.exists wants
       [ "table1"; "table2"; "table3"; "table4"; "figure6"; "ablation";
-        "micro" ]
+        "micro"; "json"; "--json" ]
   in
   let run name f = if (not any) || wants name then f ~full in
   run "table1" table1;
@@ -154,4 +207,7 @@ let () =
   run "table4" table4;
   run "figure6" figure6;
   run "ablation" ablation;
+  (* `json` (or `--json`) is opt-in only: it is not part of the default
+     everything-run because it re-executes instrumented workloads. *)
+  if wants "json" || wants "--json" then bench_json ~full;
   if (not any) || wants "micro" then micro ()

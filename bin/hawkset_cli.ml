@@ -56,6 +56,77 @@ let eadr_arg =
           "Analyse assuming eADR hardware (persistent cache, \u{00a7}2.1): \
            the visible-but-not-durable window cannot exist.")
 
+(* --- observability flags --------------------------------------------- *)
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the run-stats block: per-stage spans, deterministic \
+           counters (scheduler, PM cache, collector, analysis) and \
+           measured gauges (peak live heap).")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the run manifest (schema hawkset.run_manifest/1) as JSON \
+           to $(docv). Counters are byte-identical across runs with the \
+           same seed; timings and memory live in separate fields.")
+
+let verbose_arg =
+  Arg.(
+    value & flag_all
+    & info [ "v"; "verbose" ]
+        ~doc:"Log to stderr; once for info, twice for debug.")
+
+let log_level_arg =
+  let levels =
+    [
+      ("quiet", Obs.Logger.Quiet);
+      ("error", Obs.Logger.Error);
+      ("warn", Obs.Logger.Warn);
+      ("info", Obs.Logger.Info);
+      ("debug", Obs.Logger.Debug);
+    ]
+  in
+  Arg.(
+    value
+    & opt (some (enum levels)) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Log level: $(b,quiet), $(b,error), $(b,warn), $(b,info) or \
+              $(b,debug). Overrides $(b,-v).")
+
+let setup_logging verbose log_level =
+  let level =
+    match log_level with
+    | Some l -> l
+    | None -> (
+        match List.length verbose with
+        | 0 -> Obs.Logger.Quiet
+        | 1 -> Obs.Logger.Info
+        | _ -> Obs.Logger.Debug)
+  in
+  Obs.Logger.set_level level;
+  Obs.Logger.set_sink Obs.Logger.stderr_sink
+
+let logging_term = Term.(const setup_logging $ verbose_arg $ log_level_arg)
+
+let emit_stats ~stats ~stats_json manifest =
+  if stats then print_string (Harness.Stats.render manifest);
+  match stats_json with
+  | Some file -> (
+      try
+        Obs.Manifest.save file manifest;
+        Format.printf "wrote run manifest to %s@." file
+      with Sys_error msg ->
+        Format.eprintf "cannot write run manifest: %s@." msg;
+        exit 1)
+  | None -> ()
+
 let classify_races entry races =
   List.iter
     (fun race ->
@@ -68,23 +139,31 @@ let classify_races entry races =
     (Hawkset.Report.sorted races)
 
 let run_cmd =
-  let run app ops seed detector no_irh eadr json =
+  let run () app ops seed detector no_irh eadr json stats stats_json =
     match Pmapps.Registry.find app with
     | None ->
         Format.eprintf "unknown application %S (try list-apps)@." app;
         exit 1
     | Some entry -> (
         let ops = Pmapps.Registry.clamp_ops entry ops in
+        let labels detector =
+          Harness.Stats.base_labels ~app:entry.Pmapps.Registry.reg_name
+            ~detector ~seed ~ops
+        in
         match detector with
         | `Pmrace ->
             (* Observation-based detection needs delay injection and the
                runtime monitor; reports are direct observations. *)
-            let report =
-              entry.Pmapps.Registry.run ~seed
-                ~policy:
-                  (Machine.Sched.Delay_injection
-                     { probability = 0.05; duration = 40 })
-                ~observe:true ~ops ()
+            Obs.Registry.reset Obs.Registry.global;
+            let report, peak_mb =
+              Harness.Metrics.with_live_mb (fun () ->
+                  Obs.Registry.with_span "run" (fun () ->
+                      Obs.Registry.with_span "execute" (fun () ->
+                          entry.Pmapps.Registry.run ~seed
+                            ~policy:
+                              (Machine.Sched.Delay_injection
+                                 { probability = 0.05; duration = 40 })
+                            ~observe:true ~ops ())))
             in
             Format.printf "%d directly-observed inconsistencies:@."
               (List.length report.Machine.Sched.observations);
@@ -93,31 +172,67 @@ let run_cmd =
                 Format.printf "  store %a / load %a@." Trace.Site.pp
                   o.Machine.Sched.obs_store_site Trace.Site.pp
                   o.Machine.Sched.obs_load_site)
-              report.Machine.Sched.observations
-        | `Hawkset | `Eraser ->
-            let report = entry.Pmapps.Registry.run ~seed ~ops () in
-            let trace = report.Machine.Sched.trace in
-            let races =
-              match detector with
-              | `Eraser -> Baselines.Eraser.analyse trace
-              | `Hawkset | `Pmrace ->
-                  let config =
-                    { Hawkset.Pipeline.default with irh = not no_irh; eadr }
-                  in
-                  Hawkset.Pipeline.races ~config trace
+              report.Machine.Sched.observations;
+            emit_stats ~stats ~stats_json
+              (Obs.Manifest.of_registry ~labels:(labels "pmrace")
+                 ~extra_gauges:
+                   [
+                     ("peak_live_mb", peak_mb);
+                     ("final_live_mb", Harness.Metrics.final_live_mb ());
+                   ]
+                 Obs.Registry.global)
+        | `Hawkset ->
+            let config =
+              { Hawkset.Pipeline.default with irh = not no_irh; eadr }
+            in
+            let r = Harness.Stats.instrumented_run ~config ~entry ~seed ~ops () in
+            let races = r.Harness.Stats.pipeline.Hawkset.Pipeline.races in
+            if json then print_endline (Hawkset.Report.to_json races)
+            else begin
+              Format.printf "trace: %d events; %d race reports@.@."
+                (Trace.Tracebuf.length
+                   r.Harness.Stats.sched_report.Machine.Sched.trace)
+                (Hawkset.Report.count races);
+              classify_races entry races
+            end;
+            emit_stats ~stats ~stats_json r.Harness.Stats.manifest
+        | `Eraser ->
+            Obs.Registry.reset Obs.Registry.global;
+            let (report, races), peak_mb =
+              Harness.Metrics.with_live_mb (fun () ->
+                  Obs.Registry.with_span "run" (fun () ->
+                      let report =
+                        Obs.Registry.with_span "execute" (fun () ->
+                            entry.Pmapps.Registry.run ~seed ~ops ())
+                      in
+                      let races =
+                        Obs.Registry.with_span "analyse" (fun () ->
+                            Baselines.Eraser.analyse
+                              report.Machine.Sched.trace)
+                      in
+                      (report, races)))
             in
             if json then print_endline (Hawkset.Report.to_json races)
             else begin
               Format.printf "trace: %d events; %d race reports@.@."
-                (Trace.Tracebuf.length trace)
+                (Trace.Tracebuf.length report.Machine.Sched.trace)
                 (Hawkset.Report.count races);
               classify_races entry races
-            end)
+            end;
+            emit_stats ~stats ~stats_json
+              (Obs.Manifest.of_registry ~labels:(labels "eraser")
+                 ~extra_gauges:
+                   [
+                     ("peak_live_mb", peak_mb);
+                     ("final_live_mb", Harness.Metrics.final_live_mb ());
+                   ]
+                 Obs.Registry.global))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one application under a detector.")
-    Term.(const run $ app_arg $ ops_arg 1000 $ seed_arg $ detector_arg
-          $ no_irh_arg $ eadr_arg $ json_arg)
+    Term.(const run $ logging_term $ app_arg $ ops_arg 1000 $ seed_arg
+          $ detector_arg $ no_irh_arg $ eadr_arg $ json_arg $ stats_arg
+          $ stats_json_arg)
 
 let list_cmd =
   let list () =
@@ -166,14 +281,48 @@ let trace_cmd =
     Term.(const go $ app_arg $ ops_arg 1000 $ seed_arg $ out)
 
 let analyze_cmd =
-  let go file no_irh eadr eraser json =
+  let go () file no_irh eadr eraser json stats stats_json =
     let trace = Trace.Trace_io.load file in
-    let races =
-      if eraser then Baselines.Eraser.analyse trace
+    let labels detector =
+      [ ("trace", file); ("detector", detector);
+        ("events", string_of_int (Trace.Tracebuf.length trace)) ]
+    in
+    let races, manifest =
+      if eraser then begin
+        Obs.Registry.reset Obs.Registry.global;
+        let races, peak_mb =
+          Harness.Metrics.with_live_mb (fun () ->
+              Obs.Registry.with_span "analyse" (fun () ->
+                  Baselines.Eraser.analyse trace))
+        in
+        ( races,
+          Obs.Manifest.of_registry ~labels:(labels "eraser")
+            ~extra_gauges:
+              [
+                ("peak_live_mb", peak_mb);
+                ("final_live_mb", Harness.Metrics.final_live_mb ());
+              ]
+            Obs.Registry.global )
+      end
       else
-        Hawkset.Pipeline.races
-          ~config:{ Hawkset.Pipeline.default with irh = not no_irh; eadr }
-          trace
+        let config =
+          { Hawkset.Pipeline.default with irh = not no_irh; eadr }
+        in
+        let res, peak_mb =
+          Harness.Metrics.with_live_mb (fun () ->
+              Hawkset.Pipeline.run ~config trace)
+        in
+        if stats then
+          Format.printf "collector: %a@.@." Hawkset.Collector.pp_stats
+            res.Hawkset.Pipeline.collector_stats;
+        ( res.Hawkset.Pipeline.races,
+          Harness.Stats.manifest_of_pipeline ~labels:(labels "hawkset")
+            ~extra_gauges:
+              [
+                ("peak_live_mb", peak_mb);
+                ("final_live_mb", Harness.Metrics.final_live_mb ());
+              ]
+            res )
     in
     if json then print_endline (Hawkset.Report.to_json races)
     else begin
@@ -182,7 +331,8 @@ let analyze_cmd =
         Trace.Tracebuf.pp_stats
         (Trace.Tracebuf.stats trace);
       Format.printf "%a@." Hawkset.Report.pp races
-    end
+    end;
+    emit_stats ~stats ~stats_json manifest
   in
   let file =
     Arg.(
@@ -205,7 +355,8 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Analyse a saved trace — the application-agnostic offline workflow:           the analyser knows nothing about what produced the events.")
-    Term.(const go $ file $ no_irh_arg $ eadr $ eraser $ json_arg)
+    Term.(const go $ logging_term $ file $ no_irh_arg $ eadr $ eraser
+          $ json_arg $ stats_arg $ stats_json_arg)
 
 let bugs_cmd =
   let go () =

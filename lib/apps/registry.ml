@@ -118,7 +118,14 @@ let all =
     kv_entry (module Apex) ~sync_method:"Lock" ~needs_sync_config:true ();
   ]
 
-let find name = List.find_opt (fun e -> String.equal e.reg_name name) all
+(* Registered names use dashes ("fast-fair"); accept the underscore and
+   mixed-case spellings users actually type. *)
+let canonical name =
+  String.map (fun c -> if c = '_' then '-' else c) (String.lowercase_ascii name)
+
+let find name =
+  let name = canonical name in
+  List.find_opt (fun e -> String.equal (canonical e.reg_name) name) all
 
 let clamp_ops e ops =
   match e.max_ops with Some cap -> min cap ops | None -> ops

@@ -28,6 +28,8 @@ val all : entry list
 (** In the order of Table 1. *)
 
 val find : string -> entry option
+(** Name lookup, case-insensitive and accepting [_] for [-]
+    ("fast_fair" finds "fast-fair"). *)
 
 val clamp_ops : entry -> int -> int
 (** [clamp_ops e ops] applies the entry's workload cap. *)

@@ -10,6 +10,10 @@ type report = {
   seconds : float;
 }
 
+let obs_executions = Obs.Registry.counter "durinn.executions"
+let obs_candidates = Obs.Registry.counter "durinn.candidates"
+let obs_confirmed = Obs.Registry.counter "durinn.confirmed"
+
 (* Candidate extraction: collect the serialized trace's store windows and
    loads (IRH off: a serial execution publishes nothing, the heuristic
    would discard everything) and pair every window that was not persisted
@@ -71,6 +75,7 @@ let run ~serial_run ~concurrent_run ?(attempts_per_candidate = 3) ?(delay = 60)
   (* Phase 1: serialized execution. *)
   let serial = serial_run () in
   let candidates = candidates_of_trace serial.Machine.Sched.trace in
+  Obs.Metric.add obs_candidates (List.length candidates);
   (* Phase 2: targeted adversarial re-executions. *)
   let executions = ref 0 in
   let confirmed : (string * string, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -80,6 +85,7 @@ let run ~serial_run ~concurrent_run ?(attempts_per_candidate = 3) ?(delay = 60)
       for attempt = 0 to attempts_per_candidate - 1 do
         if not !found then begin
           incr executions;
+          Obs.Metric.incr obs_executions;
           let r =
             concurrent_run
               ~policy:
@@ -99,6 +105,7 @@ let run ~serial_run ~concurrent_run ?(attempts_per_candidate = 3) ?(delay = 60)
         end
       done)
     candidates;
+  Obs.Metric.add obs_confirmed (Hashtbl.length confirmed);
   {
     candidates;
     executions = !executions;

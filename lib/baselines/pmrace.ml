@@ -4,6 +4,11 @@ type report = {
   seconds : float;
 }
 
+(* PMRace's cost is executions, its yield is direct observations — the
+   Table 3 asymmetry, countable per run. *)
+let obs_executions = Obs.Registry.counter "pmrace.executions"
+let obs_hits = Obs.Registry.counter "pmrace.observation_hits"
+
 let fuzz ~run ~seed_workload ?(threads = 8) ?(executions = 20)
     ?(mutation_seed = 0) ?(delay_probability = 0.05) ?(delay_duration = 40) ()
     =
@@ -13,6 +18,7 @@ let fuzz ~run ~seed_workload ?(threads = 8) ?(executions = 20)
   let observations = ref [] in
   let workload = ref seed_workload in
   for exec = 0 to executions - 1 do
+    Obs.Metric.incr obs_executions;
     let per_thread = Workload.Seeds.split ~threads !workload in
     let policy =
       Machine.Sched.Delay_injection
@@ -27,6 +33,7 @@ let fuzz ~run ~seed_workload ?(threads = 8) ?(executions = 20)
         in
         if not (Hashtbl.mem seen key) then begin
           Hashtbl.add seen key ();
+          Obs.Metric.incr obs_hits;
           observations := o :: !observations
         end)
       r.Machine.Sched.observations;

@@ -13,6 +13,17 @@ let traditional =
 let last_pairs = ref 0
 let pairs_examined () = !last_pairs
 
+(* Observability counters for the §4 optimisations: how much work the
+   memoisation and happens-before pruning actually save. All bumps happen
+   on deterministic control paths — exact values are seed-reproducible. *)
+let obs_pairs = Obs.Registry.counter "analysis.pairs_examined"
+let obs_pairs_pruned_hb = Obs.Registry.counter "analysis.pairs_pruned_hb"
+let obs_ls_memo_hits = Obs.Registry.counter "analysis.lockset_memo_hits"
+let obs_ls_memo_misses = Obs.Registry.counter "analysis.lockset_memo_misses"
+let obs_vc_memo_hits = Obs.Registry.counter "analysis.vclock_memo_hits"
+let obs_vc_comparisons = Obs.Registry.counter "analysis.vclock_comparisons"
+let obs_races = Obs.Registry.counter "analysis.races_reported"
+
 let analyse ?(features = all_features) (c : Collector.result) =
   let tables = c.Collector.tables in
   let pairs = ref 0 in
@@ -21,8 +32,11 @@ let analyse ?(features = all_features) (c : Collector.result) =
   let disjoint a b =
     let key = (a, b) in
     match Hashtbl.find_opt disjoint_memo key with
-    | Some r -> r
+    | Some r ->
+        Obs.Metric.incr obs_ls_memo_hits;
+        r
     | None ->
+        Obs.Metric.incr obs_ls_memo_misses;
         let r =
           Lockset.disjoint_locks
             (Access.Ls_table.get tables.Access.ls a)
@@ -35,8 +49,11 @@ let analyse ?(features = all_features) (c : Collector.result) =
   let leq a b =
     let key = (a, b) in
     match Hashtbl.find_opt leq_memo key with
-    | Some r -> r
+    | Some r ->
+        Obs.Metric.incr obs_vc_memo_hits;
+        r
     | None ->
+        Obs.Metric.incr obs_vc_comparisons;
         let r =
           Vclock.leq
             (Access.Vc_table.get tables.Access.vc a)
@@ -80,21 +97,29 @@ let analyse ?(features = all_features) (c : Collector.result) =
                          w.Access.w_size l.Access.l_addr l.Access.l_size
                   then begin
                     incr pairs;
-                    if may_overlap_window w l then
+                    Obs.Metric.incr obs_pairs;
+                    if not (may_overlap_window w l) then
+                      Obs.Metric.incr obs_pairs_pruned_hb
+                    else
                       let store_ls =
                         if features.effective_lockset then w.Access.w_eff
                         else w.Access.w_store_ls
                       in
-                      if disjoint store_ls l.Access.l_ls then
+                      if disjoint store_ls l.Access.l_ls then begin
+                        Obs.Metric.incr obs_races;
                         report :=
                           Report.add !report ~store_site:w.Access.w_site
                             ~load_site:l.Access.l_site ~store_tid:w.Access.w_tid
                             ~load_tid:l.Access.l_tid
                             ~addr:(max w.Access.w_addr l.Access.l_addr)
                             ~window_end:w.Access.w_end
+                      end
                   end)
                 windows)
             loads)
     c.Collector.loads_by_word;
   last_pairs := !pairs;
+  Obs.Logger.debug ~section:"analysis" (fun () ->
+      Printf.sprintf "analyse: %d pairs examined, %d reports" !pairs
+        (Report.count !report));
   !report

@@ -3,6 +3,8 @@ type stats = {
   c_stores : int;
   c_loads : int;
   c_windows : int;
+  c_windows_opened : int;
+  c_windows_closed : int;
   c_load_records : int;
   c_irh_discarded_stores : int;
   c_irh_discarded_loads : int;
@@ -10,6 +12,21 @@ type stats = {
   c_vclocks : int;
   c_words : int;
 }
+
+(* Per-process observability counters (Obs.Registry.global); collection
+   adds each run's totals so front ends can snapshot/delta them. *)
+let obs_events = Obs.Registry.counter "collector.events"
+let obs_stores = Obs.Registry.counter "collector.stores"
+let obs_loads = Obs.Registry.counter "collector.loads"
+let obs_windows = Obs.Registry.counter "collector.windows_emitted"
+let obs_windows_opened = Obs.Registry.counter "collector.windows_opened"
+let obs_windows_closed = Obs.Registry.counter "collector.windows_closed"
+let obs_load_records = Obs.Registry.counter "collector.load_records"
+let obs_irh_stores = Obs.Registry.counter "collector.irh_discarded_stores"
+let obs_irh_loads = Obs.Registry.counter "collector.irh_discarded_loads"
+let obs_locksets = Obs.Registry.counter "collector.locksets_interned"
+let obs_vclocks = Obs.Registry.counter "collector.vclocks_interned"
+let obs_words = Obs.Registry.counter "collector.words_touched"
 
 type result = {
   tables : Access.tables;
@@ -71,6 +88,8 @@ type state = {
   load_dedup : (int * int * int * int * int, unit) Hashtbl.t;
   mutable next_id : int;
   mutable n_windows : int;
+  mutable n_opened : int;
+  mutable n_closed : int;
   mutable n_load_records : int;
   mutable irh_stores : int;
   mutable irh_loads : int;
@@ -176,6 +195,7 @@ let emit_window st entry ~eff ~end_vec ~kind =
    still unpublished happened during initialization and is discarded. *)
 let close_entry st entry ~eff ~end_vec ~kind =
   entry.oe_closed <- true;
+  st.n_closed <- st.n_closed + 1;
   let persisted =
     match kind with
     | Access.Persisted_same_thread | Access.Persisted_other_thread -> true
@@ -252,7 +272,8 @@ let on_store st ~tid ~addr ~size ~site =
         }
       in
       let entries = word_entries st word in
-      entries := e :: !entries)
+      entries := e :: !entries;
+      st.n_opened <- st.n_opened + 1)
     words
   end
 
@@ -389,6 +410,14 @@ let finalize st =
         !entries)
     st.open_by_word
 
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "events=%d stores=%d loads=%d windows=%d (opened=%d closed=%d) \
+     load_records=%d irh(st=%d ld=%d) locksets=%d vclocks=%d words=%d"
+    s.c_events s.c_stores s.c_loads s.c_windows s.c_windows_opened
+    s.c_windows_closed s.c_load_records s.c_irh_discarded_stores
+    s.c_irh_discarded_loads s.c_locksets s.c_vclocks s.c_words
+
 let collect ?(irh = true) ?(timestamps = true) ?(eadr = false) trace =
   let st =
     {
@@ -408,6 +437,8 @@ let collect ?(irh = true) ?(timestamps = true) ?(eadr = false) trace =
       load_dedup = Hashtbl.create 4096;
       next_id = 0;
       n_windows = 0;
+      n_opened = 0;
+      n_closed = 0;
       n_load_records = 0;
       irh_stores = 0;
       irh_loads = 0;
@@ -415,6 +446,9 @@ let collect ?(irh = true) ?(timestamps = true) ?(eadr = false) trace =
       n_loads = 0;
     }
   in
+  Obs.Logger.debug ~section:"collector" (fun () ->
+      Printf.sprintf "collect: %d events (irh=%b ts=%b eadr=%b)"
+        (Trace.Tracebuf.length trace) irh timestamps eadr);
   Trace.Tracebuf.iter
     (fun ev ->
       match ev with
@@ -434,29 +468,40 @@ let collect ?(irh = true) ?(timestamps = true) ?(eadr = false) trace =
       | Trace.Event.Thread_join { waiter; joined } -> on_join st ~waiter ~joined)
     trace;
   finalize st;
+  let stats =
+    {
+      c_events = Trace.Tracebuf.length trace;
+      c_stores = st.n_stores;
+      c_loads = st.n_loads;
+      c_windows = st.n_windows;
+      c_windows_opened = st.n_opened;
+      c_windows_closed = st.n_closed;
+      c_load_records = st.n_load_records;
+      c_irh_discarded_stores = st.irh_stores;
+      c_irh_discarded_loads = st.irh_loads;
+      c_locksets = Access.Ls_table.count st.tables.Access.ls;
+      c_vclocks = Access.Vc_table.count st.tables.Access.vc;
+      c_words = Hashtbl.length st.pub;
+    }
+  in
+  Obs.Metric.add obs_events stats.c_events;
+  Obs.Metric.add obs_stores stats.c_stores;
+  Obs.Metric.add obs_loads stats.c_loads;
+  Obs.Metric.add obs_windows stats.c_windows;
+  Obs.Metric.add obs_windows_opened stats.c_windows_opened;
+  Obs.Metric.add obs_windows_closed stats.c_windows_closed;
+  Obs.Metric.add obs_load_records stats.c_load_records;
+  Obs.Metric.add obs_irh_stores stats.c_irh_discarded_stores;
+  Obs.Metric.add obs_irh_loads stats.c_irh_discarded_loads;
+  Obs.Metric.add obs_locksets stats.c_locksets;
+  Obs.Metric.add obs_vclocks stats.c_vclocks;
+  Obs.Metric.add obs_words stats.c_words;
+  Obs.Logger.debug ~section:"collector" (fun () ->
+      Format.asprintf "%a" pp_stats stats);
   {
     tables = st.tables;
     windows_by_word = st.windows_by_word;
     loads_by_word = st.loads_by_word;
-    stats =
-      {
-        c_events = Trace.Tracebuf.length trace;
-        c_stores = st.n_stores;
-        c_loads = st.n_loads;
-        c_windows = st.n_windows;
-        c_load_records = st.n_load_records;
-        c_irh_discarded_stores = st.irh_stores;
-        c_irh_discarded_loads = st.irh_loads;
-        c_locksets = Access.Ls_table.count st.tables.Access.ls;
-        c_vclocks = Access.Vc_table.count st.tables.Access.vc;
-        c_words = Hashtbl.length st.pub;
-      };
+    stats;
   }
 
-let pp_stats ppf s =
-  Format.fprintf ppf
-    "events=%d stores=%d loads=%d windows=%d load_records=%d irh(st=%d ld=%d) \
-     locksets=%d vclocks=%d words=%d"
-    s.c_events s.c_stores s.c_loads s.c_windows s.c_load_records
-    s.c_irh_discarded_stores s.c_irh_discarded_loads s.c_locksets s.c_vclocks
-    s.c_words

@@ -21,6 +21,8 @@ type stats = {
   c_stores : int;  (** Store events in the trace. *)
   c_loads : int;  (** Load events in the trace. *)
   c_windows : int;  (** Window records emitted (after dedup + IRH). *)
+  c_windows_opened : int;  (** Open-window entries created (per word). *)
+  c_windows_closed : int;  (** Entries closed (persist/overwrite/exit). *)
   c_load_records : int;  (** Load records emitted (after dedup + IRH). *)
   c_irh_discarded_stores : int;
   c_irh_discarded_loads : int;

@@ -17,28 +17,48 @@ type result = {
   collector_stats : Collector.stats;
   pairs_examined : int;
   analysis_seconds : float;
+  stage_seconds : (string * float) list;
+  counters : (string * int) list;
 }
 
-let run ?(config = default) trace =
+(* One stage: record into the global span aggregate (nested under the
+   enclosing span path) and return this call's own wall-clock seconds. *)
+let staged name f =
   let t0 = Unix.gettimeofday () in
-  let collected =
-    Collector.collect ~irh:config.irh ~timestamps:config.timestamps
-      ~eadr:config.eadr trace
+  let r = Obs.Registry.with_span name f in
+  (r, Unix.gettimeofday () -. t0)
+
+let run ?(config = default) trace =
+  let before = Obs.Registry.counters Obs.Registry.global in
+  let t0 = Unix.gettimeofday () in
+  let (collected, races), (collect_s, analyse_s) =
+    Obs.Registry.with_span "pipeline" (fun () ->
+        let collected, collect_s =
+          staged "collect" (fun () ->
+              Collector.collect ~irh:config.irh ~timestamps:config.timestamps
+                ~eadr:config.eadr trace)
+        in
+        let features =
+          {
+            Analysis.effective_lockset = config.effective_lockset;
+            timestamps = config.timestamps;
+            vector_clocks = config.vector_clocks;
+          }
+        in
+        let races, analyse_s =
+          staged "analyse" (fun () -> Analysis.analyse ~features collected)
+        in
+        ((collected, races), (collect_s, analyse_s)))
   in
-  let features =
-    {
-      Analysis.effective_lockset = config.effective_lockset;
-      timestamps = config.timestamps;
-      vector_clocks = config.vector_clocks;
-    }
-  in
-  let races = Analysis.analyse ~features collected in
   let t1 = Unix.gettimeofday () in
+  let after = Obs.Registry.counters Obs.Registry.global in
   {
     races;
     collector_stats = collected.Collector.stats;
     pairs_examined = Analysis.pairs_examined ();
     analysis_seconds = t1 -. t0;
+    stage_seconds = [ ("collect", collect_s); ("analyse", analyse_s) ];
+    counters = Obs.Registry.delta ~before ~after;
   }
 
 let races ?config trace = (run ?config trace).races

@@ -4,7 +4,8 @@ type point = {
   events : int;
   exec_seconds : float;
   analysis_seconds : float;
-  memory_mb : float;
+  memory_mb : float; (* peak live MB while executing + analysing *)
+  final_live_mb : float; (* live MB after the analysis (old Figure 6b) *)
   races : int;
 }
 
@@ -24,14 +25,18 @@ let run ?(sizes = [ 1_000; 10_000; 100_000 ]) ?(seed = 42) () =
                  (fun p -> p.app = e.Pmapps.Registry.reg_name && p.ops = ops)
                  !points)
           then begin
-            let report, exec_seconds =
-              Metrics.timed (fun () -> e.Pmapps.Registry.run ~seed ~ops ())
+            let (report, exec_seconds, res, analysis_seconds), memory_mb =
+              Metrics.with_live_mb (fun () ->
+                  let report, exec_seconds =
+                    Metrics.timed (fun () -> e.Pmapps.Registry.run ~seed ~ops ())
+                  in
+                  let res, analysis_seconds =
+                    Metrics.timed (fun () ->
+                        Hawkset.Pipeline.run report.Machine.Sched.trace)
+                  in
+                  (report, exec_seconds, res, analysis_seconds))
             in
-            let res, analysis_seconds =
-              Metrics.timed (fun () ->
-                  Hawkset.Pipeline.run report.Machine.Sched.trace)
-            in
-            let memory_mb = Metrics.live_mb () in
+            let final_live_mb = Metrics.final_live_mb () in
             points :=
               {
                 app = e.Pmapps.Registry.reg_name;
@@ -40,6 +45,7 @@ let run ?(sizes = [ 1_000; 10_000; 100_000 ]) ?(seed = 42) () =
                 exec_seconds;
                 analysis_seconds;
                 memory_mb;
+                final_live_mb;
                 races = Hawkset.Report.count res.Hawkset.Pipeline.races;
               }
               :: !points
@@ -53,7 +59,7 @@ let to_string r =
   ^ Tables.render
       ~headers:
         [ "Application"; "Ops"; "Events"; "Exec (s)"; "Analysis (s)";
-          "Memory (MB)"; "Races" ]
+          "Peak (MB)"; "Final live (MB)"; "Races" ]
       ~rows:
         (List.map
            (fun p ->
@@ -64,6 +70,7 @@ let to_string r =
                Printf.sprintf "%.3f" p.exec_seconds;
                Printf.sprintf "%.3f" p.analysis_seconds;
                Printf.sprintf "%.1f" p.memory_mb;
+               Printf.sprintf "%.1f" p.final_live_mb;
                string_of_int p.races;
              ])
            r.points)

@@ -14,6 +14,11 @@ type point = {
   exec_seconds : float;  (** Running the instrumented application. *)
   analysis_seconds : float;  (** Stages 1-3. *)
   memory_mb : float;
+      (** Peak live heap while executing + analysing, via the
+          [Gc.alarm]-sampled {!Metrics.with_live_mb}. *)
+  final_live_mb : float;
+      (** Live heap after the analysis (the historical Figure 6b value:
+          trace + access records + interning tables still live). *)
   races : int;
 }
 

@@ -3,11 +3,41 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let live_mb () =
+let word_mb words =
+  float_of_int words *. float_of_int (Sys.word_size / 8) /. (1024.0 *. 1024.0)
+
+let final_live_mb () =
   Gc.full_major ();
   let s = Gc.stat () in
-  float_of_int s.Gc.live_words *. float_of_int (Sys.word_size / 8)
-  /. (1024.0 *. 1024.0)
+  word_mb s.Gc.live_words
+
+(* Kept as the end-of-run value; Figure 6b reports peak and final both. *)
+let live_mb = final_live_mb
+
+(* Peak live heap across [f], sampled by a [Gc.alarm] at the end of every
+   major collection (plus one sample at entry and one at exit). [Gc.stat]
+   walks the heap, so the reentrancy flag keeps a sample from observing
+   itself; the alarm is always removed, even when [f] raises. *)
+let with_live_mb f =
+  let peak = ref 0 in
+  let inside = ref false in
+  let sample () =
+    if not !inside then begin
+      inside := true;
+      Fun.protect
+        ~finally:(fun () -> inside := false)
+        (fun () ->
+          let s = Gc.stat () in
+          if s.Gc.live_words > !peak then peak := s.Gc.live_words)
+    end
+  in
+  sample ();
+  let alarm = Gc.create_alarm sample in
+  let r =
+    Fun.protect ~finally:(fun () -> Gc.delete_alarm alarm) (fun () -> f ())
+  in
+  sample ();
+  (r, word_mb !peak)
 
 let avg_time_to_race ~t ~found ~missed =
   if found <= 0 then None

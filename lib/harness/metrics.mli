@@ -3,10 +3,20 @@
 val timed : (unit -> 'a) -> 'a * float
 (** Result and wall-clock seconds. *)
 
+val with_live_mb : (unit -> 'a) -> 'a * float
+(** [with_live_mb f] runs [f] and returns its result with the {e peak}
+    live-heap megabytes observed while it ran, sampled by a [Gc.alarm] at
+    the end of every major collection (plus entry/exit samples) — the
+    Figure 6b peak-memory series. The alarm is removed even if [f]
+    raises. *)
+
+val final_live_mb : unit -> float
+(** Live heap megabytes after a full major collection — the end-of-run
+    value (the trace, access records and interning tables are all still
+    live after an analysis). Reported alongside the peak in Figure 6b. *)
+
 val live_mb : unit -> float
-(** Live heap megabytes after a minor+major collection — the
-    peak-bookkeeping proxy used for Figure 6b (the trace, access records
-    and interning tables are all live at the end of an analysis). *)
+(** Alias of {!final_live_mb}, kept for callers of the historical name. *)
 
 val avg_time_to_race : t:float -> found:int -> missed:int -> float option
 (** The §5.2 metric: expected time to find a race when workloads are

@@ -1,0 +1,124 @@
+(* Shared observability plumbing for front ends (CLI, bench, tests): one
+   instrumented execute+analyse run with the global registry reset at the
+   start, peak-heap sampling around the whole thing, and a run manifest
+   assembled at the end. Keeping this here (not in bin/) lets tests assert
+   the exact artifact the CLI emits. *)
+
+type run = {
+  sched_report : Machine.Sched.report;
+  pipeline : Hawkset.Pipeline.result;
+  peak_mb : float;
+  final_live_mb : float;
+  manifest : Obs.Manifest.t;
+}
+
+let obs_distinct_races = Obs.Registry.counter "report.distinct_races"
+
+let base_labels ~app ~detector ~seed ~ops =
+  [
+    ("app", app);
+    ("detector", detector);
+    ("seed", string_of_int seed);
+    ("ops", string_of_int ops);
+  ]
+
+let instrumented_run ?(config = Hawkset.Pipeline.default) ~entry ~seed ~ops ()
+    =
+  let reg = Obs.Registry.global in
+  Obs.Registry.reset reg;
+  let (sched_report, pipeline), peak_mb =
+    Metrics.with_live_mb (fun () ->
+        Obs.Registry.with_span "run" (fun () ->
+            let sched_report =
+              Obs.Registry.with_span "execute" (fun () ->
+                  entry.Pmapps.Registry.run ~seed ~ops ())
+            in
+            let pipeline =
+              Hawkset.Pipeline.run ~config sched_report.Machine.Sched.trace
+            in
+            (sched_report, pipeline)))
+  in
+  Obs.Metric.add obs_distinct_races
+    (Hawkset.Report.count pipeline.Hawkset.Pipeline.races);
+  let final_live_mb = Metrics.final_live_mb () in
+  let manifest =
+    Obs.Manifest.of_registry
+      ~labels:
+        (base_labels ~app:entry.Pmapps.Registry.reg_name ~detector:"hawkset"
+           ~seed ~ops)
+      ~extra_gauges:
+        [ ("peak_live_mb", peak_mb); ("final_live_mb", final_live_mb) ]
+      reg
+  in
+  { sched_report; pipeline; peak_mb; final_live_mb; manifest }
+
+(* Offline traces carry no scheduler/cache counters: the manifest is built
+   from the pipeline result's own delta so `analyze` prints the same stats
+   block as a live run's pipeline section. *)
+let manifest_of_pipeline ?(labels = []) ?(extra_gauges = [])
+    (res : Hawkset.Pipeline.result) =
+  Obs.Manifest.make ~labels
+    ~counters:
+      (List.sort
+         (fun (a, _) (b, _) -> String.compare a b)
+         (("report.distinct_races",
+           Hawkset.Report.count res.Hawkset.Pipeline.races)
+         :: res.Hawkset.Pipeline.counters))
+    ~stages:
+      (List.map
+         (fun (name, seconds) ->
+           {
+             Obs.Manifest.stage_name = "pipeline/" ^ name;
+             stage_count = 1;
+             stage_seconds = seconds;
+           })
+         res.Hawkset.Pipeline.stage_seconds)
+    ~gauges:extra_gauges ()
+
+(* --- human rendering -------------------------------------------------- *)
+
+let render (m : Obs.Manifest.t) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Tables.section "Run stats");
+  if m.Obs.Manifest.labels <> [] then begin
+    Buffer.add_string b
+      (String.concat "  "
+         (List.map (fun (k, v) -> k ^ "=" ^ v) m.Obs.Manifest.labels));
+    Buffer.add_string b "\n\n"
+  end;
+  if m.Obs.Manifest.stages <> [] then
+    Buffer.add_string b
+      (Tables.render
+         ~headers:[ "Span"; "Count"; "Seconds" ]
+         ~rows:
+           (List.map
+              (fun (s : Obs.Manifest.stage) ->
+                [
+                  s.Obs.Manifest.stage_name;
+                  string_of_int s.Obs.Manifest.stage_count;
+                  Printf.sprintf "%.4f" s.Obs.Manifest.stage_seconds;
+                ])
+              m.Obs.Manifest.stages));
+  let counter_rows =
+    List.map
+      (fun (k, v) -> [ k; string_of_int v ])
+      m.Obs.Manifest.counters
+    @ List.concat_map
+        (fun (name, cells) ->
+          List.map
+            (fun (k, v) -> [ name ^ "/" ^ k; string_of_int v ])
+            cells)
+        m.Obs.Manifest.histograms
+  in
+  if counter_rows <> [] then
+    Buffer.add_string b
+      (Tables.render ~headers:[ "Counter (deterministic)"; "Value" ]
+         ~rows:counter_rows);
+  if m.Obs.Manifest.gauges <> [] then
+    Buffer.add_string b
+      (Tables.render ~headers:[ "Gauge (measured)"; "Value" ]
+         ~rows:
+           (List.map
+              (fun (k, v) -> [ k; Printf.sprintf "%.3f" v ])
+              m.Obs.Manifest.gauges));
+  Buffer.contents b

@@ -23,6 +23,19 @@ type report = {
 
 exception Deadlock of string
 
+(* Scheduler observability (Obs.Registry.global). Every bump sits on a
+   deterministic control path, so counts are exact functions of
+   (program, seed, policy) — the Table 3 cost asymmetry becomes countable
+   rather than asserted. *)
+let obs_sched_points = Obs.Registry.counter "sched.points"
+let obs_switches = Obs.Registry.counter "sched.context_switches"
+let obs_delays = Obs.Registry.counter "sched.delays_injected"
+let obs_spawned = Obs.Registry.counter "sched.threads_spawned"
+let obs_machine_runs = Obs.Registry.counter "sched.machine_runs"
+
+let obs_runnable =
+  Obs.Registry.histogram ~bounds:[| 1; 2; 4; 8; 16; 32 |] "sched.runnable"
+
 type resume =
   | Start of (unit -> unit)
   | Resume of (unit, unit) Effect.Deep.continuation
@@ -88,6 +101,7 @@ let add_thread m thunk =
   end;
   m.threads.(m.nthreads) <- th;
   m.nthreads <- m.nthreads + 1;
+  Obs.Metric.incr obs_spawned;
   th
 
 let eligible m =
@@ -110,6 +124,7 @@ let pick_next m =
         (fun th -> if th.delay > 0 then th.delay <- th.delay - 1)
         candidates;
       let pool = if ready = [] then candidates else ready in
+      Obs.Metric.observe obs_runnable (List.length pool);
       match m.policy with
       | Round_robin -> (
           (* Next runnable thread after the last scheduled, wrapping. *)
@@ -142,6 +157,7 @@ let rec schedule m =
     match pick_next m with
     | None -> ()
     | Some th -> (
+        if th.t_tid <> m.last_scheduled then Obs.Metric.incr obs_switches;
         m.last_scheduled <- th.t_tid;
         match th.cont with
         | None -> assert false
@@ -200,7 +216,9 @@ and exec_fiber m th thunk =
 
 (* --- instrumentation ------------------------------------------------ *)
 
-let sched_point _ctx = Effect.perform Switch
+let sched_point _ctx =
+  Obs.Metric.incr obs_sched_points;
+  Effect.perform Switch
 
 let check_crash m =
   match m.crash_after with
@@ -255,11 +273,15 @@ let join ctx target =
 let maybe_delay ctx st =
   match ctx.m.policy with
   | Delay_injection { probability; duration } ->
-      if Prng.float ctx.m.prng 1.0 < probability then
+      if Prng.float ctx.m.prng 1.0 < probability then begin
+        Obs.Metric.incr obs_delays;
         ctx.self.delay <- duration
+      end
   | Targeted_delay { store_loc; duration } ->
-      if String.equal (Trace.Site.location st) store_loc then
+      if String.equal (Trace.Site.location st) store_loc then begin
+        Obs.Metric.incr obs_delays;
         ctx.self.delay <- duration
+      end
   | Random_interleave | Round_robin | Scripted _ -> ()
 
 let record_store_words ctx ~addr ~size ~site:st =
@@ -482,6 +504,9 @@ let run ?(seed = 0) ?(policy = Random_interleave)
   in
   let th = add_thread m thunk in
   main_ref := Some th;
+  Obs.Metric.incr obs_machine_runs;
+  Obs.Logger.debug ~section:"sched" (fun () ->
+      Printf.sprintf "machine start: seed=%d observe=%b" seed observe);
   schedule m;
   (match m.failure with Some e -> raise e | None -> ());
   if not m.crashed then begin

@@ -1,0 +1,9 @@
+(* Span clock. [Unix.gettimeofday] is the only sub-second clock the
+   toolchain ships without third-party stubs; the source is swappable so
+   tests (and any embedder with a true monotonic source) can inject one.
+   Span arithmetic clamps negative intervals, so a stepped wall clock can
+   skew a measurement but never corrupt the aggregate. *)
+
+let source = ref Unix.gettimeofday
+let set_source f = source := f
+let now () = !source ()

@@ -1,0 +1,5 @@
+(** Clock source for spans. Defaults to [Unix.gettimeofday]; injectable for
+    deterministic tests or a proper monotonic source. *)
+
+val now : unit -> float
+val set_source : (unit -> float) -> unit

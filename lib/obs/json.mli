@@ -1,0 +1,10 @@
+(** Minimal JSON emission (no parsing). Floats print in fixed point so
+    field shapes are stable across platforms; NaN becomes [null]. *)
+
+val escape : string -> string
+val str : string -> string
+val int : int -> string
+val float : float -> string
+val bool : bool -> string
+val arr : string list -> string
+val obj : (string * string) list -> string

@@ -1,0 +1,47 @@
+(* Leveled logger with a silent-by-default sink. Messages are closures so
+   disabled levels cost one branch; the sink is a plain function ref so
+   the CLI (or a test) can route output anywhere without a dependency. *)
+
+type level = Quiet | Error | Warn | Info | Debug
+
+let severity = function
+  | Quiet -> 0
+  | Error -> 1
+  | Warn -> 2
+  | Info -> 3
+  | Debug -> 4
+
+let level_name = function
+  | Quiet -> "quiet"
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "quiet" | "none" | "off" -> Some Quiet
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let current = ref Quiet
+let set_level l = current := l
+let level () = !current
+
+let sink : (level -> string -> string -> unit) ref = ref (fun _ _ _ -> ())
+let set_sink f = sink := f
+
+let stderr_sink level section msg =
+  Printf.eprintf "[%-5s] %s: %s\n%!" (level_name level) section msg
+
+let enabled l = severity l <= severity !current && severity l > 0
+
+let log l ~section msg = if enabled l then !sink l section (msg ())
+
+let err ?(section = "hawkset") msg = log Error ~section msg
+let warn ?(section = "hawkset") msg = log Warn ~section msg
+let info ?(section = "hawkset") msg = log Info ~section msg
+let debug ?(section = "hawkset") msg = log Debug ~section msg

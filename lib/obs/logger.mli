@@ -1,0 +1,24 @@
+(** Leveled logger, silent by default.
+
+    Messages are thunks: below the active level nothing is formatted. The
+    default sink drops everything even at high levels — a front end must
+    install one (e.g. {!stderr_sink}) for output to appear, keeping
+    libraries free of I/O policy. *)
+
+type level = Quiet | Error | Warn | Info | Debug
+
+val set_level : level -> unit
+val level : unit -> level
+val level_name : level -> string
+val level_of_string : string -> level option
+val enabled : level -> bool
+
+val set_sink : (level -> string -> string -> unit) -> unit
+(** [set_sink f]: [f level section message] receives enabled messages. *)
+
+val stderr_sink : level -> string -> string -> unit
+
+val err : ?section:string -> (unit -> string) -> unit
+val warn : ?section:string -> (unit -> string) -> unit
+val info : ?section:string -> (unit -> string) -> unit
+val debug : ?section:string -> (unit -> string) -> unit

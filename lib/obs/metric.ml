@@ -1,0 +1,71 @@
+(* Metric primitives. Counters and histograms are bumped on deterministic
+   control paths only, so for a fixed scheduler seed their values are a
+   pure function of the run — tests assert exact counts. Gauges hold real
+   measurements (wall clock, heap sizes) and are quarantined in separate
+   manifest fields. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  h_bounds : int array; (* inclusive upper bounds, strictly increasing *)
+  h_counts : int array; (* length = Array.length h_bounds + 1 (overflow) *)
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+}
+
+let counter name = { c_name = name; c_value = 0 }
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+
+let gauge name = { g_name = name; g_value = 0.0 }
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let default_bounds = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 |]
+
+let histogram ?(bounds = default_bounds) name =
+  {
+    h_name = name;
+    h_bounds = bounds;
+    h_counts = Array.make (Array.length bounds + 1) 0;
+    h_count = 0;
+    h_sum = 0;
+    h_max = 0;
+  }
+
+let observe h v =
+  let rec bucket i =
+    if i >= Array.length h.h_bounds then i
+    else if v <= h.h_bounds.(i) then i
+    else bucket (i + 1)
+  in
+  h.h_counts.(bucket 0) <- h.h_counts.(bucket 0) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v > h.h_max then h.h_max <- v
+
+(* Flattened, deterministically-ordered view for snapshots/manifests. *)
+let cells h =
+  let buckets =
+    Array.to_list
+      (Array.mapi
+         (fun i n ->
+           if i < Array.length h.h_bounds then
+             (Printf.sprintf "le_%d" h.h_bounds.(i), n)
+           else ("overflow", n))
+         h.h_counts)
+  in
+  buckets @ [ ("count", h.h_count); ("sum", h.h_sum); ("max", h.h_max) ]
+
+let reset_counter c = c.c_value <- 0
+let reset_gauge g = g.g_value <- 0.0
+
+let reset_histogram h =
+  Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+  h.h_count <- 0;
+  h.h_sum <- 0;
+  h.h_max <- 0

@@ -1,0 +1,115 @@
+(* Central metric registry. Modules create named handles once (find-or-
+   create, so a name is one cell process-wide) and bump them on their hot
+   paths; consumers snapshot sorted association lists. [reset] zeroes the
+   values but keeps the handles, so a front end can reset at the start of
+   a run and read a per-run snapshot at the end while instrumented
+   libraries hold their handles across runs. *)
+
+type span_stat = { mutable sp_count : int; mutable sp_seconds : float }
+
+type t = {
+  counters : (string, Metric.counter) Hashtbl.t;
+  gauges : (string, Metric.gauge) Hashtbl.t;
+  histograms : (string, Metric.histogram) Hashtbl.t;
+  spans : (string, span_stat) Hashtbl.t;
+  mutable span_stack : string list;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+    spans = Hashtbl.create 16;
+    span_stack = [];
+  }
+
+let global = create ()
+
+let find_or_create tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some m -> m
+  | None ->
+      let m = make name in
+      Hashtbl.add tbl name m;
+      m
+
+let counter ?(registry = global) name =
+  find_or_create registry.counters name Metric.counter
+
+let gauge ?(registry = global) name =
+  find_or_create registry.gauges name Metric.gauge
+
+let histogram ?(registry = global) ?bounds name =
+  find_or_create registry.histograms name (Metric.histogram ?bounds)
+
+let reset t =
+  Hashtbl.iter (fun _ c -> Metric.reset_counter c) t.counters;
+  Hashtbl.iter (fun _ g -> Metric.reset_gauge g) t.gauges;
+  Hashtbl.iter (fun _ h -> Metric.reset_histogram h) t.histograms;
+  Hashtbl.reset t.spans;
+  t.span_stack <- []
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun name m acc -> (name, value m) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_bindings t.counters Metric.value
+let gauges t = sorted_bindings t.gauges Metric.gauge_value
+
+let histogram_cells (h : Metric.histogram) = Metric.cells h
+
+let histograms t = sorted_bindings t.histograms histogram_cells
+
+(* --- spans ----------------------------------------------------------- *)
+
+(* Nested spans record under their slash-joined path ("run/analyse"), so
+   the snapshot reads as a flame-graph outline. Reentrancy under the same
+   path accumulates. *)
+let with_span ?(registry = global) name f =
+  let t = registry in
+  let path =
+    match t.span_stack with [] -> name | top :: _ -> top ^ "/" ^ name
+  in
+  t.span_stack <- path :: t.span_stack;
+  let t0 = Clock.now () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Float.max 0.0 (Clock.now () -. t0) in
+      (match t.span_stack with
+      | top :: rest when String.equal top path -> t.span_stack <- rest
+      | _ -> () (* unbalanced exit via an effect; leave the stack alone *));
+      let s =
+        match Hashtbl.find_opt t.spans path with
+        | Some s -> s
+        | None ->
+            let s = { sp_count = 0; sp_seconds = 0.0 } in
+            Hashtbl.add t.spans path s;
+            s
+      in
+      s.sp_count <- s.sp_count + 1;
+      s.sp_seconds <- s.sp_seconds +. dt)
+    f
+
+let spans t =
+  Hashtbl.fold (fun path s acc -> (path, (s.sp_count, s.sp_seconds)) :: acc)
+    t.spans []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* --- snapshot arithmetic --------------------------------------------- *)
+
+(* [delta ~before ~after] keeps every [after] key, subtracting the matching
+   [before] value — the per-phase view of an accumulating registry. Both
+   lists must be sorted by name (as all snapshots here are). *)
+let delta ~before ~after =
+  let rec go before after acc =
+    match (before, after) with
+    | _, [] -> List.rev acc
+    | [], (k, v) :: a -> go [] a ((k, v) :: acc)
+    | (kb, vb) :: b, (ka, va) :: a ->
+        let c = String.compare kb ka in
+        if c = 0 then go b a ((ka, va - vb) :: acc)
+        else if c < 0 then go b after acc
+        else go before a ((ka, va) :: acc)
+  in
+  go before after []

@@ -1,0 +1,4 @@
+(* Convenience alias over the registry's span machinery. *)
+
+let with_ ?registry name f = Registry.with_span ?registry name f
+let snapshot ?(registry = Registry.global) () = Registry.spans registry

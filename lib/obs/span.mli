@@ -1,0 +1,4 @@
+(** Monotonic-clock spans with nesting — see {!Registry.with_span}. *)
+
+val with_ : ?registry:Registry.t -> string -> (unit -> 'a) -> 'a
+val snapshot : ?registry:Registry.t -> unit -> (string * (int * float)) list

@@ -27,6 +27,14 @@ type t = {
   free_lists : (int, int list) Hashtbl.t; (* size -> freed addrs, LIFO *)
 }
 
+(* Worst-case-cache observability: how much dirtying/flushing/fencing the
+   workload actually generates. Deterministic for a fixed scheduler seed. *)
+let obs_line_dirties = Obs.Registry.counter "pmem.line_dirties"
+let obs_flushes = Obs.Registry.counter "pmem.flushes"
+let obs_fences = Obs.Registry.counter "pmem.fences"
+let obs_nt_stores = Obs.Registry.counter "pmem.nt_stores"
+let obs_crash_images = Obs.Registry.counter "pmem.crash_images"
+
 let create ?(name = "/mnt/pmem/pool") ?(eadr = false) ~size () =
   {
     heap_name = name;
@@ -89,6 +97,7 @@ let mark_dirty t ~tid ~addr ~size =
   while !pos < stop do
     let line_idx = Layout.line_index !pos in
     let s = line_state t line_idx in
+    Obs.Metric.incr obs_line_dirties;
     s.version <- s.version + 1;
     let line_base = line_idx * Layout.line_size in
     let upto = min stop (line_base + Layout.line_size) in
@@ -104,6 +113,7 @@ let note_store t ~tid ~addr ~size ~non_temporal =
        visibility; nothing is ever dirty. *)
     Bytes.blit t.volatile addr t.persistent addr size
   else if non_temporal then begin
+    Obs.Metric.incr obs_nt_stores;
     let key = Trace.Tid.to_int tid in
     let prev = Option.value ~default:[] (Hashtbl.find_opt t.nt_pending key) in
     Hashtbl.replace t.nt_pending key
@@ -142,6 +152,7 @@ let dirty_conflict t ~tid ~addr ~size =
 let flush t ~tid ~line =
   if line land (Layout.line_size - 1) <> 0 then
     invalid_arg "Heap.flush: address is not line-aligned";
+  Obs.Metric.incr obs_flushes;
   let line_idx = Layout.line_index line in
   match Hashtbl.find_opt t.lines line_idx with
   | None -> () (* clean line: flushing is a no-op *)
@@ -164,6 +175,7 @@ let commit_line t line_idx s p =
     Array.fill s.writers 0 Layout.line_size 0
 
 let fence t ~tid =
+  Obs.Metric.incr obs_fences;
   let me = Trace.Tid.to_int tid in
   let completed = ref [] in
   Hashtbl.iter
@@ -229,7 +241,9 @@ let dirty_lines t =
       if Array.exists (fun w -> w <> 0) s.writers then acc + 1 else acc)
     t.lines 0
 
-let crash_image t = Bytes.copy t.persistent
+let crash_image t =
+  Obs.Metric.incr obs_crash_images;
+  Bytes.copy t.persistent
 
 let of_image ?(name = "/mnt/pmem/pool") img =
   let t = create ~name ~size:(Bytes.length img) () in

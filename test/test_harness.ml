@@ -155,10 +155,89 @@ module Experiment_tests = struct
     ]
 end
 
+module Stats_tests = struct
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    nl = 0 || go 0
+
+  let entry =
+    match Pmapps.Registry.find "fast-fair" with
+    | Some e -> e
+    | None -> Alcotest.fail "fast-fair not registered"
+
+  (* The ISSUE acceptance criterion: two instrumented runs with the same
+     seed serialize the deterministic half of the manifest byte-identically;
+     the manifest carries per-stage spans, >= 10 distinct counters and the
+     peak-memory gauge. *)
+  let deterministic_counters () =
+    let r1 = Harness.Stats.instrumented_run ~entry ~seed:7 ~ops:400 () in
+    let r2 = Harness.Stats.instrumented_run ~entry ~seed:7 ~ops:400 () in
+    Alcotest.(check string)
+      "counters byte-identical across same-seed runs"
+      (Obs.Manifest.counters_json r1.Harness.Stats.manifest)
+      (Obs.Manifest.counters_json r2.Harness.Stats.manifest)
+
+  let manifest_shape () =
+    let r = Harness.Stats.instrumented_run ~entry ~seed:7 ~ops:400 () in
+    let m = r.Harness.Stats.manifest in
+    Alcotest.(check bool)
+      ">= 10 distinct counters" true
+      (List.length m.Obs.Manifest.counters >= 10);
+    (* Every instrumented subsystem shows up. *)
+    List.iter
+      (fun name ->
+        Alcotest.(check bool) (name ^ " present") true
+          (Obs.Manifest.counter m name <> None))
+      [
+        "collector.events"; "collector.windows_opened";
+        "collector.windows_closed"; "collector.locksets_interned";
+        "analysis.pairs_examined"; "analysis.pairs_pruned_hb";
+        "analysis.vclock_comparisons"; "sched.points";
+        "sched.context_switches"; "pmem.flushes"; "pmem.fences";
+        "report.distinct_races";
+      ];
+    Alcotest.(check bool)
+      "stage spans recorded" true
+      (List.exists
+         (fun s -> s.Obs.Manifest.stage_name = "run/execute")
+         m.Obs.Manifest.stages
+      && List.exists
+           (fun s -> contains ~needle:"collect" s.Obs.Manifest.stage_name)
+           m.Obs.Manifest.stages);
+    (match Obs.Manifest.gauge m "peak_live_mb" with
+    | Some v -> Alcotest.(check bool) "peak > 0" true (v > 0.)
+    | None -> Alcotest.fail "peak_live_mb gauge missing");
+    Alcotest.(check bool)
+      "peak >= final" true
+      (r.Harness.Stats.peak_mb >= r.Harness.Stats.final_live_mb);
+    let j = Obs.Manifest.to_json m in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) ("json has " ^ needle) true (contains ~needle j))
+      [ {|"schema":"hawkset.run_manifest/1"|}; {|"stages"|}; {|"peak_live_mb"|} ]
+
+  let render_has_sections () =
+    let r = Harness.Stats.instrumented_run ~entry ~seed:7 ~ops:400 () in
+    let s = Harness.Stats.render r.Harness.Stats.manifest in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) ("render has " ^ needle) true (contains ~needle s))
+      [ "Counter (deterministic)"; "Gauge (measured)"; "app=fast-fair" ]
+
+  let tests =
+    [
+      Alcotest.test_case "same seed, same counters" `Slow deterministic_counters;
+      Alcotest.test_case "manifest shape" `Slow manifest_shape;
+      Alcotest.test_case "stats render" `Slow render_has_sections;
+    ]
+end
+
 let () =
   Alcotest.run "harness"
     [
       ("metrics", Metric_tests.tests);
       ("tables", Tables_tests.tests);
+      ("stats", Stats_tests.tests);
       ("experiments", Experiment_tests.tests);
     ]

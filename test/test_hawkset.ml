@@ -640,6 +640,93 @@ module Analysis_tests = struct
     ]
 end
 
+module Report_tests = struct
+  let has ~needle hay =
+    let re = Str.regexp_string needle in
+    try
+      ignore (Str.search_forward re hay 0);
+      true
+    with Not_found -> false
+
+  let add r ~store_line ~load_line ~store_tid ~load_tid ~addr =
+    Hawkset.Report.add r
+      ~store_site:(s "app.ml" store_line)
+      ~load_site:(s "app.ml" load_line)
+      ~store_tid ~load_tid ~addr ~window_end:Hawkset.Access.Open_at_exit
+
+  (* Parse the emitted JSON back (string-level): every report's fields are
+     recoverable, and merged pairs surface their occurrence count. *)
+  let json_round_trip () =
+    let r = Hawkset.Report.empty in
+    let r = add r ~store_line:10 ~load_line:20 ~store_tid:1 ~load_tid:2 ~addr:128 in
+    let r = add r ~store_line:10 ~load_line:20 ~store_tid:1 ~load_tid:2 ~addr:136 in
+    let r = add r ~store_line:30 ~load_line:40 ~store_tid:3 ~load_tid:4 ~addr:192 in
+    let j = Hawkset.Report.to_json r in
+    (* One "occurrences" field per serialized report object. *)
+    let count_needle needle =
+      let re = Str.regexp_string needle in
+      let rec go i acc =
+        match Str.search_forward re j i with
+        | p -> go (p + String.length needle) (acc + 1)
+        | exception Not_found -> acc
+      in
+      go 0 0
+    in
+    Alcotest.(check int) "two serialized reports" 2
+      (count_needle {|"occurrences"|});
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) ("round-trips " ^ needle) true (has ~needle j))
+      [
+        {|"line":10|}; {|"line":20|}; {|"line":30|}; {|"line":40|};
+        {|"occurrences":2|}; {|"occurrences":1|};
+        {|"window_end":"never_persisted"|}; {|"store_tid":1|}; {|"load_tid":4|};
+      ]
+
+  (* Random add sequences: merging never changes the two conservation
+     laws — distinct site pairs = count, total occurrences = adds. *)
+  let merge_invariants =
+    let gen =
+      QCheck.(
+        list_of_size Gen.(int_range 0 40)
+          (quad (int_range 1 5) (int_range 1 5) (int_range 1 3) (int_range 1 3)))
+    in
+    QCheck.Test.make ~name:"add preserves count/occurrence invariants"
+      ~count:200 gen (fun adds ->
+        let final, ok =
+          List.fold_left
+            (fun (r, ok) (sl, ll, st, lt) ->
+              let before = Hawkset.Report.count r in
+              let r = add r ~store_line:sl ~load_line:ll ~store_tid:st
+                  ~load_tid:lt ~addr:128 in
+              let after = Hawkset.Report.count r in
+              (r, ok && after >= before && after <= before + 1))
+            (Hawkset.Report.empty, true)
+            adds
+        in
+        let distinct_pairs =
+          List.sort_uniq compare (List.map (fun (sl, ll, _, _) -> (sl, ll)) adds)
+        in
+        ok
+        && Hawkset.Report.count final = List.length distinct_pairs
+        && List.fold_left
+             (fun acc race -> acc + race.Hawkset.Report.occurrences)
+             0 final
+           = List.length adds
+        && List.for_all
+             (fun (sl, ll) ->
+               Hawkset.Report.mem final
+                 ~store_loc:(Printf.sprintf "app.ml:%d" sl)
+                 ~load_loc:(Printf.sprintf "app.ml:%d" ll))
+             distinct_pairs)
+
+  let tests =
+    [
+      Alcotest.test_case "json round-trip" `Quick json_round_trip;
+      QCheck_alcotest.to_alcotest merge_invariants;
+    ]
+end
+
 module Reference_tests = struct
   (* Random well-formed traces: a few threads, each running a random
      script of critical sections, PM accesses and persists over a small
@@ -834,6 +921,7 @@ let () =
       ("vclock", Vclock_tests.tests);
       ("collector", Collector_tests.tests);
       ("analysis", Analysis_tests.tests);
+      ("report", Report_tests.tests);
       ("reference", Reference_tests.tests);
       ("eadr", Eadr_tests.tests);
     ]
