@@ -138,12 +138,97 @@ let ablation ~full =
   let ops = if full then 10_000 else 1_500 in
   print_string (Harness.Ablation.to_string (Harness.Ablation.run ~ops ()))
 
+(* ---- parallel-analysis sweep (the `par` target) ----
+   Stage-2 wall clock per --jobs count on the Figure 6 workload (one
+   fast-fair trace, collected once). Every run must produce the same
+   races and pair count — asserted here, so the bench doubles as an
+   end-to-end determinism check. Best-of-3 timings damp scheduler noise. *)
+
+type par_point = {
+  pp_jobs : int;
+  pp_analyse_s : float;
+  pp_speedup : float;
+}
+
+let par_sweep ~full =
+  let ops = if full then 100_000 else 8_000 in
+  let trace = fast_fair_trace ops 42 in
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  let analyse_seconds jobs =
+    let config = { Hawkset.Pipeline.default with jobs } in
+    let best = ref infinity in
+    let baseline = ref None in
+    for _ = 1 to 3 do
+      let r = Hawkset.Pipeline.run ~config trace in
+      (match !baseline with
+      | None -> baseline := Some r
+      | Some b ->
+          assert (
+            Hawkset.Report.to_json r.Hawkset.Pipeline.races
+            = Hawkset.Report.to_json b.Hawkset.Pipeline.races));
+      best := Float.min !best (List.assoc "analyse" r.Hawkset.Pipeline.stage_seconds)
+    done;
+    (!best, Option.get !baseline)
+  in
+  let seq_s, seq_r = analyse_seconds 1 in
+  let points =
+    List.map
+      (fun jobs ->
+        let s, r = if jobs = 1 then (seq_s, seq_r) else analyse_seconds jobs in
+        (* Parallel results must be bit-identical to sequential. *)
+        assert (
+          Hawkset.Report.to_json r.Hawkset.Pipeline.races
+          = Hawkset.Report.to_json seq_r.Hawkset.Pipeline.races);
+        assert (
+          r.Hawkset.Pipeline.pairs_examined
+          = seq_r.Hawkset.Pipeline.pairs_examined);
+        { pp_jobs = jobs; pp_analyse_s = s; pp_speedup = seq_s /. s })
+      jobs_list
+  in
+  (ops, points)
+
+let par_json (ops, points) =
+  Obs.Json.obj
+    [
+      ("app", Obs.Json.str "fast-fair");
+      ("ops", Obs.Json.int ops);
+      ( "points",
+        Obs.Json.arr
+          (List.map
+             (fun p ->
+               Obs.Json.obj
+                 [
+                   ("jobs", Obs.Json.int p.pp_jobs);
+                   ("analyse_seconds", Obs.Json.float p.pp_analyse_s);
+                   ("speedup", Obs.Json.float p.pp_speedup);
+                 ])
+             points) );
+    ]
+
+let par ~full =
+  let ((_, points) as sweep) = par_sweep ~full in
+  print_string (Harness.Tables.section "Parallel analysis (--jobs sweep)");
+  print_string
+    (Harness.Tables.render
+       ~headers:[ "Jobs"; "Analyse stage"; "Speedup vs --jobs 1" ]
+       ~rows:
+         (List.map
+            (fun p ->
+              [
+                string_of_int p.pp_jobs;
+                Printf.sprintf "%.4f s" p.pp_analyse_s;
+                Printf.sprintf "%.2fx" p.pp_speedup;
+              ])
+            points));
+  sweep
+
 (* ---- pipeline perf-trajectory emitter (BENCH_pipeline.json) ----
    One instrumented fast-fair run per workload size: per-stage seconds,
    peak live heap and the deterministic counter snapshot, machine-readable
-   so CI can archive the trajectory per commit. *)
+   so CI can archive the trajectory per commit. Includes the per-jobs
+   parallel-analysis sweep. *)
 
-let bench_json ~full =
+let bench_json ?sweep ~full () =
   let sizes = if full then [ 1_000; 10_000; 100_000 ] else [ 1_000; 4_000 ] in
   let entry =
     match Pmapps.Registry.find "fast-fair" with
@@ -175,13 +260,15 @@ let bench_json ~full =
           ])
       sizes
   in
+  let sweep = match sweep with Some s -> s | None -> par_sweep ~full in
   let doc =
     Obs.Json.obj
       [
-        ("schema", Obs.Json.str "hawkset.bench_pipeline/1");
+        ("schema", Obs.Json.str "hawkset.bench_pipeline/2");
         ("app", Obs.Json.str "fast-fair");
         ("seed", Obs.Json.int 42);
         ("points", Obs.Json.arr points);
+        ("parallel", par_json sweep);
       ]
   in
   let file = "BENCH_pipeline.json" in
@@ -198,7 +285,7 @@ let () =
   let any =
     List.exists wants
       [ "table1"; "table2"; "table3"; "table4"; "figure6"; "ablation";
-        "micro"; "json"; "--json" ]
+        "micro"; "par"; "json"; "--json" ]
   in
   let run name f = if (not any) || wants name then f ~full in
   run "table1" table1;
@@ -207,7 +294,13 @@ let () =
   run "table4" table4;
   run "figure6" figure6;
   run "ablation" ablation;
-  (* `json` (or `--json`) is opt-in only: it is not part of the default
-     everything-run because it re-executes instrumented workloads. *)
-  if wants "json" || wants "--json" then bench_json ~full;
+  (* `par` and `json` (or `--json`) are opt-in only: they are not part of
+     the default everything-run because they re-execute instrumented
+     workloads. `par` prints the jobs sweep and records it in
+     BENCH_pipeline.json; `json` runs the sweep silently. *)
+  if wants "par" then begin
+    let sweep = par ~full in
+    bench_json ~sweep ~full ()
+  end
+  else if wants "json" || wants "--json" then bench_json ~full ();
   if (not any) || wants "micro" then micro ()

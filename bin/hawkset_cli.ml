@@ -56,6 +56,16 @@ let eadr_arg =
           "Analyse assuming eADR hardware (persistent cache, \u{00a7}2.1): \
            the visible-but-not-durable window cannot exist.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int Hawkset.Pipeline.default_jobs
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Analysis domains for stage 3 (default $(b,\\$HAWKSET_JOBS) or 1). \
+           Race reports and deterministic counters are bit-identical for \
+           every $(docv); only wall-clock time changes.")
+
 (* --- observability flags --------------------------------------------- *)
 
 let stats_arg =
@@ -139,7 +149,7 @@ let classify_races entry races =
     (Hawkset.Report.sorted races)
 
 let run_cmd =
-  let run () app ops seed detector no_irh eadr json stats stats_json =
+  let run () app ops seed detector no_irh eadr jobs json stats stats_json =
     match Pmapps.Registry.find app with
     | None ->
         Format.eprintf "unknown application %S (try list-apps)@." app;
@@ -183,7 +193,7 @@ let run_cmd =
                  Obs.Registry.global)
         | `Hawkset ->
             let config =
-              { Hawkset.Pipeline.default with irh = not no_irh; eadr }
+              { Hawkset.Pipeline.default with irh = not no_irh; eadr; jobs }
             in
             let r = Harness.Stats.instrumented_run ~config ~entry ~seed ~ops () in
             let races = r.Harness.Stats.pipeline.Hawkset.Pipeline.races in
@@ -231,8 +241,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one application under a detector.")
     Term.(const run $ logging_term $ app_arg $ ops_arg 1000 $ seed_arg
-          $ detector_arg $ no_irh_arg $ eadr_arg $ json_arg $ stats_arg
-          $ stats_json_arg)
+          $ detector_arg $ no_irh_arg $ eadr_arg $ jobs_arg $ json_arg
+          $ stats_arg $ stats_json_arg)
 
 let list_cmd =
   let list () =
@@ -281,11 +291,12 @@ let trace_cmd =
     Term.(const go $ app_arg $ ops_arg 1000 $ seed_arg $ out)
 
 let analyze_cmd =
-  let go () file no_irh eadr eraser json stats stats_json =
+  let go () file no_irh eadr jobs eraser json stats stats_json =
     let trace = Trace.Trace_io.load file in
     let labels detector =
       [ ("trace", file); ("detector", detector);
         ("events", string_of_int (Trace.Tracebuf.length trace)) ]
+      @ (if detector = "hawkset" then [ ("jobs", string_of_int jobs) ] else [])
     in
     let races, manifest =
       if eraser then begin
@@ -306,7 +317,7 @@ let analyze_cmd =
       end
       else
         let config =
-          { Hawkset.Pipeline.default with irh = not no_irh; eadr }
+          { Hawkset.Pipeline.default with irh = not no_irh; eadr; jobs }
         in
         let res, peak_mb =
           Harness.Metrics.with_live_mb (fun () ->
@@ -355,8 +366,8 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Analyse a saved trace — the application-agnostic offline workflow:           the analyser knows nothing about what produced the events.")
-    Term.(const go $ logging_term $ file $ no_irh_arg $ eadr $ eraser
-          $ json_arg $ stats_arg $ stats_json_arg)
+    Term.(const go $ logging_term $ file $ no_irh_arg $ eadr $ jobs_arg
+          $ eraser $ json_arg $ stats_arg $ stats_json_arg)
 
 let bugs_cmd =
   let go () =

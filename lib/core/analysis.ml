@@ -10,116 +10,191 @@ let all_features =
 let traditional =
   { effective_lockset = false; timestamps = false; vector_clocks = true }
 
+type outcome = { report : Report.t; pairs : int }
+
 let last_pairs = ref 0
 let pairs_examined () = !last_pairs
 
 (* Observability counters for the §4 optimisations: how much work the
    memoisation and happens-before pruning actually save. All bumps happen
-   on deterministic control paths — exact values are seed-reproducible. *)
-let obs_pairs = Obs.Registry.counter "analysis.pairs_examined"
-let obs_pairs_pruned_hb = Obs.Registry.counter "analysis.pairs_pruned_hb"
+   on deterministic control paths — exact values are seed-reproducible.
+   The memo hit/miss split is derived from totals (misses = distinct keys,
+   hits = lookups - misses), which makes the values independent of both
+   the word iteration order and the parallel sharding. *)
 let obs_ls_memo_hits = Obs.Registry.counter "analysis.lockset_memo_hits"
 let obs_ls_memo_misses = Obs.Registry.counter "analysis.lockset_memo_misses"
 let obs_vc_memo_hits = Obs.Registry.counter "analysis.vclock_memo_hits"
 let obs_vc_comparisons = Obs.Registry.counter "analysis.vclock_comparisons"
-let obs_races = Obs.Registry.counter "analysis.races_reported"
 
-let analyse ?(features = all_features) (c : Collector.result) =
-  let tables = c.Collector.tables in
-  let pairs = ref 0 in
+(* These three are bumped through per-domain {!Obs.Buffer} cells and reach
+   the registry at flush time; registering them here keeps their zero
+   values in snapshots taken before the first analysis. *)
+let () =
+  List.iter
+    (fun name -> ignore (Obs.Registry.counter name : Obs.Metric.counter))
+    [
+      "analysis.pairs_examined"; "analysis.pairs_pruned_hb";
+      "analysis.races_reported";
+    ]
+
+module Kernel = struct
+  type memo = {
+    disjoint_memo : (int * int, bool) Hashtbl.t;
+    leq_memo : (int * int, bool) Hashtbl.t;
+    mutable ls_lookups : int;
+    mutable vc_lookups : int;
+  }
+
+  let make_memo () =
+    {
+      disjoint_memo = Hashtbl.create 256;
+      leq_memo = Hashtbl.create 256;
+      ls_lookups = 0;
+      vc_lookups = 0;
+    }
+
+  type stats = {
+    buf : Obs.Buffer.t;
+    s_pairs : Obs.Buffer.cell;
+    s_pruned_hb : Obs.Buffer.cell;
+    s_races : Obs.Buffer.cell;
+  }
+
+  let make_stats () =
+    let buf = Obs.Buffer.create () in
+    {
+      buf;
+      s_pairs = Obs.Buffer.cell buf "analysis.pairs_examined";
+      s_pruned_hb = Obs.Buffer.cell buf "analysis.pairs_pruned_hb";
+      s_races = Obs.Buffer.cell buf "analysis.races_reported";
+    }
+
+  let pairs stats = Obs.Buffer.value stats.s_pairs
+  let buffer stats = stats.buf
+  let set_last_pairs n = last_pairs := n
+
+  let sorted_words = Collector.sorted_load_words
+
   (* Memoized comparisons on interned ids (§4: "direct comparison"). *)
-  let disjoint_memo : (int * int, bool) Hashtbl.t = Hashtbl.create 256 in
-  let disjoint a b =
+  let disjoint ~tables ~memo a b =
+    memo.ls_lookups <- memo.ls_lookups + 1;
     let key = (a, b) in
-    match Hashtbl.find_opt disjoint_memo key with
-    | Some r ->
-        Obs.Metric.incr obs_ls_memo_hits;
-        r
+    match Hashtbl.find_opt memo.disjoint_memo key with
+    | Some r -> r
     | None ->
-        Obs.Metric.incr obs_ls_memo_misses;
         let r =
           Lockset.disjoint_locks
             (Access.Ls_table.get tables.Access.ls a)
             (Access.Ls_table.get tables.Access.ls b)
         in
-        Hashtbl.add disjoint_memo key r;
+        Hashtbl.add memo.disjoint_memo key r;
         r
-  in
-  let leq_memo : (int * int, bool) Hashtbl.t = Hashtbl.create 256 in
-  let leq a b =
+
+  let leq ~tables ~memo a b =
+    memo.vc_lookups <- memo.vc_lookups + 1;
     let key = (a, b) in
-    match Hashtbl.find_opt leq_memo key with
-    | Some r ->
-        Obs.Metric.incr obs_vc_memo_hits;
-        r
+    match Hashtbl.find_opt memo.leq_memo key with
+    | Some r -> r
     | None ->
-        Obs.Metric.incr obs_vc_comparisons;
         let r =
           Vclock.leq
             (Access.Vc_table.get tables.Access.vc a)
             (Access.Vc_table.get tables.Access.vc b)
         in
-        Hashtbl.add leq_memo key r;
+        Hashtbl.add memo.leq_memo key r;
         r
-  in
+
   (* The load may fall inside the store's visible-but-not-durable window:
      it must not happen-before the store, and the window's end (the
      persistency, §3.1.2's Persist3 discussion) must not happen-before the
      load. A window that never closed can race with anything after the
      store. *)
-  let may_overlap_window (w : Access.window) (l : Access.load) =
+  let may_overlap_window ~features ~tables ~memo (w : Access.window)
+      (l : Access.load) =
     (not features.vector_clocks)
-    || (not (leq l.Access.l_vec w.Access.w_store_vec))
+    || (not (leq ~tables ~memo l.Access.l_vec w.Access.w_store_vec))
        &&
        match w.Access.w_end_vec with
        | None -> true
-       | Some e -> not (leq e l.Access.l_vec)
-  in
+       | Some e -> not (leq ~tables ~memo e l.Access.l_vec)
+
+  let analyse_word ~features ~memo ~stats (c : Collector.result) word report =
+    match
+      ( Hashtbl.find_opt c.Collector.loads_by_word word,
+        Hashtbl.find_opt c.Collector.windows_by_word word )
+    with
+    | Some loads, Some windows ->
+        let tables = c.Collector.tables in
+        let report = ref report in
+        List.iter
+          (fun (l : Access.load) ->
+            List.iter
+              (fun (w : Access.window) ->
+                (* Examine each (window, load) pair at one canonical
+                   word even when the ranges share several. *)
+                let canonical =
+                  Pmem.Layout.word_index (max w.Access.w_addr l.Access.l_addr)
+                in
+                if
+                  canonical = word
+                  && w.Access.w_tid <> l.Access.l_tid
+                  && Pmem.Layout.ranges_overlap w.Access.w_addr w.Access.w_size
+                       l.Access.l_addr l.Access.l_size
+                then begin
+                  Obs.Buffer.incr stats.s_pairs;
+                  if not (may_overlap_window ~features ~tables ~memo w l) then
+                    Obs.Buffer.incr stats.s_pruned_hb
+                  else
+                    let store_ls =
+                      if features.effective_lockset then w.Access.w_eff
+                      else w.Access.w_store_ls
+                    in
+                    if disjoint ~tables ~memo store_ls l.Access.l_ls then begin
+                      Obs.Buffer.incr stats.s_races;
+                      report :=
+                        Report.add !report ~store_site:w.Access.w_site
+                          ~load_site:l.Access.l_site ~store_tid:w.Access.w_tid
+                          ~load_tid:l.Access.l_tid
+                          ~addr:(max w.Access.w_addr l.Access.l_addr)
+                          ~window_end:w.Access.w_end
+                    end
+                end)
+              windows)
+          loads;
+        !report
+    | _ -> report
+
+  (* Global-registry flush for the memo counters. The split is computed
+     from totals so the published values are those of a single shared memo
+     table — i.e. the sequential run's — no matter how many per-domain
+     tables actually served the lookups. *)
+  let flush_memo_counters ~ls_lookups ~ls_misses ~vc_lookups ~vc_misses =
+    Obs.Metric.add obs_ls_memo_misses ls_misses;
+    Obs.Metric.add obs_ls_memo_hits (ls_lookups - ls_misses);
+    Obs.Metric.add obs_vc_comparisons vc_misses;
+    Obs.Metric.add obs_vc_memo_hits (vc_lookups - vc_misses)
+end
+
+let run ?(features = all_features) (c : Collector.result) =
+  let memo = Kernel.make_memo () in
+  let stats = Kernel.make_stats () in
+  let words = Kernel.sorted_words c in
   let report = ref Report.empty in
-  Hashtbl.iter
-    (fun word loads ->
-      match Hashtbl.find_opt c.Collector.windows_by_word word with
-      | None -> ()
-      | Some windows ->
-          List.iter
-            (fun (l : Access.load) ->
-              List.iter
-                (fun (w : Access.window) ->
-                  (* Examine each (window, load) pair at one canonical
-                     word even when the ranges share several. *)
-                  let canonical =
-                    Pmem.Layout.word_index (max w.Access.w_addr l.Access.l_addr)
-                  in
-                  if
-                    canonical = word
-                    && w.Access.w_tid <> l.Access.l_tid
-                    && Pmem.Layout.ranges_overlap w.Access.w_addr
-                         w.Access.w_size l.Access.l_addr l.Access.l_size
-                  then begin
-                    incr pairs;
-                    Obs.Metric.incr obs_pairs;
-                    if not (may_overlap_window w l) then
-                      Obs.Metric.incr obs_pairs_pruned_hb
-                    else
-                      let store_ls =
-                        if features.effective_lockset then w.Access.w_eff
-                        else w.Access.w_store_ls
-                      in
-                      if disjoint store_ls l.Access.l_ls then begin
-                        Obs.Metric.incr obs_races;
-                        report :=
-                          Report.add !report ~store_site:w.Access.w_site
-                            ~load_site:l.Access.l_site ~store_tid:w.Access.w_tid
-                            ~load_tid:l.Access.l_tid
-                            ~addr:(max w.Access.w_addr l.Access.l_addr)
-                            ~window_end:w.Access.w_end
-                      end
-                  end)
-                windows)
-            loads)
-    c.Collector.loads_by_word;
-  last_pairs := !pairs;
+  Array.iter
+    (fun word ->
+      report := Kernel.analyse_word ~features ~memo ~stats c word !report)
+    words;
+  let pairs = Kernel.pairs stats in
+  Obs.Buffer.flush stats.Kernel.buf;
+  Kernel.flush_memo_counters
+    ~ls_lookups:memo.Kernel.ls_lookups
+    ~ls_misses:(Hashtbl.length memo.Kernel.disjoint_memo)
+    ~vc_lookups:memo.Kernel.vc_lookups
+    ~vc_misses:(Hashtbl.length memo.Kernel.leq_memo);
+  last_pairs := pairs;
   Obs.Logger.debug ~section:"analysis" (fun () ->
-      Printf.sprintf "analyse: %d pairs examined, %d reports" !pairs
+      Printf.sprintf "analyse: %d pairs examined, %d reports" pairs
         (Report.count !report));
-  !report
+  { report = !report; pairs }
+
+let analyse ?features c = (run ?features c).report

@@ -13,6 +13,11 @@
     on interned ids, and each (window, load) pair is examined at a single
     canonical word even when the ranges share several.
 
+    Words are visited in ascending order of their canonical index, so the
+    produced report is a deterministic function of the collected records —
+    independent of hash-table layout — and {!Par_analysis} can reproduce
+    it exactly by sharding contiguous word ranges across domains.
+
     The [features] record exposes the design-ablation switches used by the
     evaluation: each corresponds to one step of the §3.1 construction. *)
 
@@ -32,9 +37,80 @@ val all_features : features
 val traditional : features
 (** Plain lockset analysis with only the happens-before filter. *)
 
+type outcome = {
+  report : Report.t;
+  pairs : int;
+      (** (window, load) pairs examined — the work metric reported by the
+          efficiency benchmarks. *)
+}
+
+val run : ?features:features -> Collector.result -> outcome
+(** Runs Algorithm 1 over the collected access records, sequentially, and
+    returns the report together with the pair count. *)
+
 val analyse : ?features:features -> Collector.result -> Report.t
-(** Runs Algorithm 1 over the collected access records. *)
+(** [(run c).report]. *)
 
 val pairs_examined : unit -> int
-(** Number of (window, load) pairs examined by the most recent {!analyse}
-    call — the work metric reported by the efficiency benchmarks. *)
+  [@@ocaml.deprecated
+    "Global mutable state, unsound once analyses run on multiple domains: \
+     read the [pairs] field of Analysis.run / Par_analysis.analyse instead."]
+(** Pair count of the most recent {!run} / {!Par_analysis.analyse} in this
+    process. Deprecated (kept updated for one release): it is a single
+    global cell, so concurrent analyses trample each other's value — use
+    {!outcome.pairs}. *)
+
+(** The word-level kernel shared by this module's sequential driver and
+    {!Par_analysis}'s sharded one. A (memo, stats) pair must only ever be
+    used from one domain; the collector result itself is read-only and may
+    be shared (see {!Collector.result}). *)
+module Kernel : sig
+  type memo = {
+    disjoint_memo : (int * int, bool) Hashtbl.t;
+        (** Lockset-pair disjointness, keyed by interned ids. *)
+    leq_memo : (int * int, bool) Hashtbl.t;
+        (** Vector-clock [leq], keyed by interned ids. *)
+    mutable ls_lookups : int;  (** Total disjointness queries. *)
+    mutable vc_lookups : int;  (** Total [leq] queries. *)
+  }
+
+  val make_memo : unit -> memo
+
+  type stats
+  (** Per-domain deterministic counters (pairs examined, HB prunes, races
+      reported), buffered in an {!Obs.Buffer} and flushed by the driver. *)
+
+  val make_stats : unit -> stats
+  val pairs : stats -> int
+  val buffer : stats -> Obs.Buffer.t
+
+  val sorted_words : Collector.result -> int array
+  (** = {!Collector.sorted_load_words}: the deterministic iteration and
+      sharding domain. *)
+
+  val analyse_word :
+    features:features ->
+    memo:memo ->
+    stats:stats ->
+    Collector.result ->
+    int ->
+    Report.t ->
+    Report.t
+  (** [analyse_word ~features ~memo ~stats c word report] examines every
+      (window, load) pair canonical to [word] and returns [report]
+      extended with the races found, in the loads-outer/windows-inner
+      order of the collected lists. *)
+
+  val set_last_pairs : int -> unit
+  (** Back-compat: updates the cell behind the deprecated
+      {!pairs_examined} without tripping the deprecation alert. *)
+
+  val flush_memo_counters :
+    ls_lookups:int -> ls_misses:int -> vc_lookups:int -> vc_misses:int -> unit
+  (** Publish the memoisation counters into {!Obs.Registry.global}. The
+      hit/miss split must be computed from totals (misses = distinct keys,
+      hits = lookups − misses) so the published values are those of one
+      shared memo table regardless of how many per-domain tables served
+      the lookups — the invariant that keeps counter snapshots identical
+      across [jobs] settings. *)
+end

@@ -505,3 +505,9 @@ let collect ?(irh = true) ?(timestamps = true) ?(eadr = false) trace =
     stats;
   }
 
+let sorted_load_words (t : result) =
+  let words = Hashtbl.fold (fun w _ acc -> w :: acc) t.loads_by_word [] in
+  let arr = Array.of_list words in
+  Array.sort Int.compare arr;
+  arr
+

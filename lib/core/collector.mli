@@ -37,6 +37,11 @@ type result = {
   loads_by_word : (int, Access.load list) Hashtbl.t;
   stats : stats;
 }
+(** A result is frozen once [collect] returns: stage 3 only ever reads it.
+    All reads ([Hashtbl.find_opt] on the by-word tables, interner [get]s
+    through [tables]) are mutation-free, so one result may be consumed
+    concurrently from several domains — the property {!Par_analysis}
+    relies on to shard the word space without copying the records. *)
 
 val collect :
   ?irh:bool -> ?timestamps:bool -> ?eadr:bool -> Trace.Tracebuf.t -> result
@@ -48,5 +53,10 @@ val collect :
     the trace under the §2.1 eADR assumption — the cache is persistent, so
     visible-but-not-durable windows cannot exist and no store records are
     produced (persistency-induced races are impossible by construction). *)
+
+val sorted_load_words : result -> int array
+(** The canonical word keys of [loads_by_word] in ascending order — the
+    deterministic iteration (and sharding) domain of stage 3. Words with
+    load records but no windows are included; the analysis skips them. *)
 
 val pp_stats : Format.formatter -> stats -> unit

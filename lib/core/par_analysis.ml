@@ -1,0 +1,116 @@
+(* Domain-parallel stage 3: contiguous word-range sharding over the
+   Analysis.Kernel, with a deterministic in-order merge. See the .mli for
+   the determinism argument; the load balancing below only moves shard
+   boundaries, which the merge makes invisible in the result. *)
+
+module K = Analysis.Kernel
+
+type shard_result = {
+  sr_report : Report.t;
+  sr_memo : K.memo;
+  sr_stats : K.stats;
+}
+
+let run_shard ~features (c : Collector.result) (words : int array) lo hi =
+  let memo = K.make_memo () in
+  let stats = K.make_stats () in
+  let report = ref Report.empty in
+  for i = lo to hi - 1 do
+    report := K.analyse_word ~features ~memo ~stats c words.(i) !report
+  done;
+  { sr_report = !report; sr_memo = memo; sr_stats = stats }
+
+(* Contiguous cost-balanced partition: cut after the word whose cumulative
+   estimated cost crosses the next 1/shards-th of the total. Estimated
+   cost of a word = |loads| * |windows| (the pair loop) + 1 (the visit).
+   Returns (lo, hi) index ranges into [words]; some may be empty. *)
+let partition (c : Collector.result) (words : int array) shards =
+  let n = Array.length words in
+  let cost w =
+    let len tbl =
+      match Hashtbl.find_opt tbl w with Some l -> List.length l | None -> 0
+    in
+    1 + (len c.Collector.loads_by_word * len c.Collector.windows_by_word)
+  in
+  let total = Array.fold_left (fun acc w -> acc + cost w) 0 words in
+  let ranges = ref [] in
+  let lo = ref 0 in
+  let acc = ref 0 in
+  let target k = total * k / shards in
+  let k = ref 1 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc + cost w;
+      if !k < shards && !acc >= target !k then begin
+        ranges := (!lo, i + 1) :: !ranges;
+        lo := i + 1;
+        incr k
+      end)
+    words;
+  ranges := (!lo, n) :: !ranges;
+  (* Pad with empty trailing ranges if the costs crossed fewer than
+     [shards - 1] boundaries (e.g. one huge word). *)
+  let rs = List.rev !ranges in
+  rs @ List.init (shards - List.length rs) (fun _ -> (n, n))
+
+let merge_counters shard_results =
+  (* Pair/prune/race counts are per-pair sums: flushing each shard's
+     buffer adds them up. Flush order is irrelevant (addition), but we
+     keep shard order for clarity. *)
+  List.iter (fun sr -> Obs.Buffer.flush (K.buffer sr.sr_stats)) shard_results;
+  (* The memo split must be that of one shared table: total lookups minus
+     the number of *globally* distinct keys. A key first seen by two
+     shards cost each of them a real computation, but sequentially it
+     would have been one miss plus hits — publish that. *)
+  let union_size proj =
+    let seen = Hashtbl.create 1024 in
+    List.iter
+      (fun sr ->
+        Hashtbl.iter
+          (fun key _ -> if not (Hashtbl.mem seen key) then Hashtbl.add seen key ())
+          (proj sr.sr_memo))
+      shard_results;
+    Hashtbl.length seen
+  in
+  let sum proj = List.fold_left (fun acc sr -> acc + proj sr.sr_memo) 0 shard_results in
+  K.flush_memo_counters
+    ~ls_lookups:(sum (fun m -> m.K.ls_lookups))
+    ~ls_misses:(union_size (fun m -> m.K.disjoint_memo))
+    ~vc_lookups:(sum (fun m -> m.K.vc_lookups))
+    ~vc_misses:(union_size (fun m -> m.K.leq_memo))
+
+let analyse ?(features = Analysis.all_features) ?(jobs = 1) (c : Collector.result)
+    =
+  let words = K.sorted_words c in
+  let shards = min (max 1 jobs) (max 1 (Array.length words)) in
+  if shards <= 1 then Analysis.run ~features c
+  else begin
+    let ranges = partition c words shards in
+    (* Spawn every shard but the first; the first runs on this domain so a
+       2-shard analysis costs one spawn. *)
+    let spawned =
+      List.map
+        (fun (lo, hi) ->
+          Domain.spawn (fun () -> run_shard ~features c words lo hi))
+        (List.tl ranges)
+    in
+    let first =
+      let lo, hi = List.hd ranges in
+      run_shard ~features c words lo hi
+    in
+    let shard_results = first :: List.map Domain.join spawned in
+    let report =
+      List.fold_left
+        (fun acc sr -> Report.merge acc sr.sr_report)
+        Report.empty shard_results
+    in
+    let pairs =
+      List.fold_left (fun acc sr -> acc + K.pairs sr.sr_stats) 0 shard_results
+    in
+    merge_counters shard_results;
+    K.set_last_pairs pairs;
+    Obs.Logger.debug ~section:"analysis" (fun () ->
+        Printf.sprintf "par analyse: %d shards, %d pairs examined, %d reports"
+          shards pairs (Report.count report));
+    { Analysis.report; pairs }
+  end

@@ -1,0 +1,41 @@
+(** Domain-parallel stage 3.
+
+    Shards the canonical word keys of the collected records across OCaml 5
+    domains and runs the {!Analysis.Kernel} over each shard independently:
+    every domain gets its own memo tables, its own {!Obs.Buffer} of
+    deterministic counters and its own private {!Report.t}, so the hot
+    path touches no shared mutable state (the collector result is
+    read-only, see {!Collector.result}).
+
+    {2 Determinism}
+
+    The result is {e bit-identical} to {!Analysis.run} for every [jobs]
+    value:
+
+    - Words are sorted and partitioned into {e contiguous} ascending
+      ranges, one per shard; each shard visits its words in ascending
+      order, so the global visit order is the concatenation of the shard
+      orders — exactly the sequential order.
+    - Shard reports are merged in shard order with {!Report.merge}, which
+      reproduces the sequential [Report.add] sequence: site pairs appear
+      in first-witness order and keep the first witness's fields, with
+      occurrence counts summed.
+    - The deterministic counters are reconstructed at merge time: pair,
+      prune and race counts are sums over pairs (shard-independent), and
+      the memo hit/miss split is derived from total lookups and the union
+      of the per-shard key sets — the values one shared memo table would
+      have produced. Per-domain buffers are flushed into
+      {!Obs.Registry.global} only after every domain has joined.
+
+    [jobs = 1] (the default) bypasses sharding entirely and is exactly
+    {!Analysis.run}. *)
+
+val analyse :
+  ?features:Analysis.features ->
+  ?jobs:int ->
+  Collector.result ->
+  Analysis.outcome
+(** [analyse ~jobs c] runs Algorithm 1 over [c] on [max 1 jobs] domains
+    (capped at the number of words). The returned report and every
+    deterministic counter published to {!Obs.Registry.global} are
+    identical to the sequential {!Analysis.run} for any [jobs]. *)

@@ -4,11 +4,24 @@ type config = {
   timestamps : bool;
   vector_clocks : bool;
   eadr : bool;
+  jobs : int;
 }
+
+(* The parallel analysis is bit-identical to the sequential one for every
+   jobs value, so an environment default is safe: it can only change
+   timings, never results. CI exports HAWKSET_JOBS=4 to exercise the
+   sharded path under the whole test suite. *)
+let default_jobs =
+  match Sys.getenv_opt "HAWKSET_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> 1)
+  | None -> 1
 
 let default =
   { irh = true; effective_lockset = true; timestamps = true;
-    vector_clocks = true; eadr = false }
+    vector_clocks = true; eadr = false; jobs = default_jobs }
 
 let no_irh = { default with irh = false }
 
@@ -16,6 +29,7 @@ type result = {
   races : Report.t;
   collector_stats : Collector.stats;
   pairs_examined : int;
+  jobs : int;
   analysis_seconds : float;
   stage_seconds : (string * float) list;
   counters : (string * int) list;
@@ -31,7 +45,7 @@ let staged name f =
 let run ?(config = default) trace =
   let before = Obs.Registry.counters Obs.Registry.global in
   let t0 = Unix.gettimeofday () in
-  let (collected, races), (collect_s, analyse_s) =
+  let (collected, outcome), (collect_s, analyse_s) =
     Obs.Registry.with_span "pipeline" (fun () ->
         let collected, collect_s =
           staged "collect" (fun () ->
@@ -45,17 +59,19 @@ let run ?(config = default) trace =
             vector_clocks = config.vector_clocks;
           }
         in
-        let races, analyse_s =
-          staged "analyse" (fun () -> Analysis.analyse ~features collected)
+        let outcome, analyse_s =
+          staged "analyse" (fun () ->
+              Par_analysis.analyse ~features ~jobs:config.jobs collected)
         in
-        ((collected, races), (collect_s, analyse_s)))
+        ((collected, outcome), (collect_s, analyse_s)))
   in
   let t1 = Unix.gettimeofday () in
   let after = Obs.Registry.counters Obs.Registry.global in
   {
-    races;
+    races = outcome.Analysis.report;
     collector_stats = collected.Collector.stats;
-    pairs_examined = Analysis.pairs_examined ();
+    pairs_examined = outcome.Analysis.pairs;
+    jobs = config.jobs;
     analysis_seconds = t1 -. t0;
     stage_seconds = [ ("collect", collect_s); ("analyse", analyse_s) ];
     counters = Obs.Registry.delta ~before ~after;

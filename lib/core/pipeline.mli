@@ -13,10 +13,19 @@ type config = {
       (** Analyse under the §2.1 eADR assumption (persistent cache):
           no window ever exists, so nothing is reported — the flag shows
           that the whole bug class is an artifact of the volatile cache. *)
+  jobs : int;
+      (** Stage-3 analysis domains ({!Par_analysis}). [1] runs the exact
+          sequential {!Analysis.run}; any value produces a bit-identical
+          report and counter snapshot, so the knob only affects wall-clock
+          time. *)
 }
 
+val default_jobs : int
+(** [$HAWKSET_JOBS] when set to a positive integer, else [1]. *)
+
 val default : config
-(** Everything on — the configuration evaluated in the paper. *)
+(** Everything on, [jobs = default_jobs] — the configuration evaluated in
+    the paper. *)
 
 val no_irh : config
 (** [default] with the IRH disabled — the Table 4 comparison point. *)
@@ -25,6 +34,10 @@ type result = {
   races : Report.t;
   collector_stats : Collector.stats;
   pairs_examined : int;
+      (** From {!Analysis.outcome.pairs} — the per-run value, safe under
+          concurrent analyses (unlike the deprecated
+          {!Analysis.pairs_examined} global). *)
+  jobs : int;  (** Analysis domains this run used ([config.jobs]). *)
   analysis_seconds : float;
       (** Wall-clock time of collection + analysis (the "testing time" the
           efficiency evaluation reports excludes workload generation). *)

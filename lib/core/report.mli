@@ -34,6 +34,14 @@ val add :
 (** Adds a witnessing pair, merging with an existing report for the same
     (store location, load location). *)
 
+val merge : t -> t -> t
+(** [merge a b] appends [b]'s races to [a] in [b]'s order, combining
+    reports for a site pair already present in [a] (occurrence counts
+    sum; [a]'s witness fields win). The result is exactly what repeated
+    {!add} would have built had [b]'s witnessing pairs been added after
+    [a]'s — the property the parallel analysis relies on to make its
+    shard-merged report identical to the sequential one. *)
+
 val count : t -> int
 (** Number of distinct site-pair reports. *)
 

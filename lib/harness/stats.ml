@@ -45,7 +45,8 @@ let instrumented_run ?(config = Hawkset.Pipeline.default) ~entry ~seed ~ops ()
     Obs.Manifest.of_registry
       ~labels:
         (base_labels ~app:entry.Pmapps.Registry.reg_name ~detector:"hawkset"
-           ~seed ~ops)
+           ~seed ~ops
+        @ [ ("jobs", string_of_int config.Hawkset.Pipeline.jobs) ])
       ~extra_gauges:
         [ ("peak_live_mb", peak_mb); ("final_live_mb", final_live_mb) ]
       reg

@@ -1,0 +1,41 @@
+(* Domain-local counter buffers: cells are private mutable ints keyed by
+   counter name; flush drains them into the target registry with
+   Metric.add. The hot path (incr/add on a cell) touches no shared state,
+   so a buffer can live on a spawned domain while the registry stays on
+   the coordinator. *)
+
+type cell = { bc_name : string; mutable bc_value : int }
+
+type t = {
+  registry : Registry.t;
+  by_name : (string, cell) Hashtbl.t;
+  mutable order : cell list; (* creation order, for a stable fold *)
+}
+
+let create ?(registry = Registry.global) () =
+  { registry; by_name = Hashtbl.create 16; order = [] }
+
+let cell t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some c -> c
+  | None ->
+      let c = { bc_name = name; bc_value = 0 } in
+      Hashtbl.add t.by_name name c;
+      t.order <- c :: t.order;
+      c
+
+let incr c = c.bc_value <- c.bc_value + 1
+let add c n = c.bc_value <- c.bc_value + n
+let value c = c.bc_value
+
+let cells t =
+  Hashtbl.fold (fun name c acc -> (name, c.bc_value) :: acc) t.by_name []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let flush t =
+  List.iter
+    (fun c ->
+      if c.bc_value <> 0 then
+        Metric.add (Registry.counter ~registry:t.registry c.bc_name) c.bc_value;
+      c.bc_value <- 0)
+    (List.rev t.order)

@@ -1,0 +1,40 @@
+(** Domain-local counter buffers.
+
+    {!Registry.t} and its {!Metric.counter} cells are plain mutable state:
+    bumping them from several domains at once is a data race and makes the
+    resulting values depend on the interleaving. A parallel stage instead
+    gives each domain its own buffer, bumps cells on the hot path without
+    touching any shared state, and the coordinating domain flushes every
+    buffer into the global registry after joining the producers. Flushing
+    {e adds}, so flush order never affects the resulting counter values —
+    the snapshot stays byte-identical to a sequential run that did the
+    same logical work. *)
+
+type t
+(** A private accumulation area bound to one target registry. *)
+
+type cell
+(** One buffered counter, named after the registry counter it feeds. *)
+
+val create : ?registry:Registry.t -> unit -> t
+(** A buffer that {!flush} will drain into [registry] (default
+    {!Registry.global}). Creation does not touch the registry. *)
+
+val cell : t -> string -> cell
+(** Find-or-create the buffered cell for the counter named [name]. *)
+
+val incr : cell -> unit
+
+val add : cell -> int -> unit
+
+val value : cell -> int
+(** Pending (unflushed) value of the cell. *)
+
+val cells : t -> (string * int) list
+(** Pending values, sorted by name. *)
+
+val flush : t -> unit
+(** Add every cell's pending value into the registry counter of the same
+    name (find-or-create) and zero the cell. Must run on a domain with
+    exclusive access to the target registry — i.e. after the producing
+    domains have been joined. *)

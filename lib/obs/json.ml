@@ -2,20 +2,20 @@
    Emission only: the observability layer never parses JSON. *)
 
 let escape s =
-  let b = Buffer.create (String.length s + 8) in
+  let b = Stdlib.Buffer.create (String.length s + 8) in
   String.iter
     (fun c ->
       match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
+      | '"' -> Stdlib.Buffer.add_string b "\\\""
+      | '\\' -> Stdlib.Buffer.add_string b "\\\\"
+      | '\n' -> Stdlib.Buffer.add_string b "\\n"
+      | '\r' -> Stdlib.Buffer.add_string b "\\r"
+      | '\t' -> Stdlib.Buffer.add_string b "\\t"
       | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
+          Stdlib.Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Stdlib.Buffer.add_char b c)
     s;
-  Buffer.contents b
+  Stdlib.Buffer.contents b
 
 let str s = "\"" ^ escape s ^ "\""
 let int = string_of_int

@@ -178,6 +178,25 @@ module Stats_tests = struct
       (Obs.Manifest.counters_json r1.Harness.Stats.manifest)
       (Obs.Manifest.counters_json r2.Harness.Stats.manifest)
 
+  (* The parallel analysis must not perturb the deterministic half: the
+     same run sharded over 4 domains serializes the very same counter
+     snapshot, byte for byte. *)
+  let parallel_counters_identical () =
+    let run jobs =
+      Harness.Stats.instrumented_run
+        ~config:{ Hawkset.Pipeline.default with Hawkset.Pipeline.jobs = jobs }
+        ~entry ~seed:7 ~ops:400 ()
+    in
+    let r1 = run 1 in
+    let r4 = run 4 in
+    Alcotest.(check string)
+      "counters byte-identical across jobs=1 and jobs=4"
+      (Obs.Manifest.counters_json r1.Harness.Stats.manifest)
+      (Obs.Manifest.counters_json r4.Harness.Stats.manifest);
+    Alcotest.(check (option string))
+      "jobs label recorded" (Some "4")
+      (Obs.Manifest.label r4.Harness.Stats.manifest "jobs")
+
   let manifest_shape () =
     let r = Harness.Stats.instrumented_run ~entry ~seed:7 ~ops:400 () in
     let m = r.Harness.Stats.manifest in
@@ -228,6 +247,8 @@ module Stats_tests = struct
   let tests =
     [
       Alcotest.test_case "same seed, same counters" `Slow deterministic_counters;
+      Alcotest.test_case "jobs=4, same counters" `Slow
+        parallel_counters_identical;
       Alcotest.test_case "manifest shape" `Slow manifest_shape;
       Alcotest.test_case "stats render" `Slow render_has_sections;
     ]

@@ -1,0 +1,384 @@
+(* Differential tests for the domain-parallel stage 3: for random traces,
+   for every registered application and for two golden fixture traces, the
+   sharded analysis must be bit-identical to the sequential pass at every
+   jobs count — same races in the same order with the same witness fields,
+   same pair count, and the same deterministic counter snapshot. *)
+
+let jobs_values = [ 1; 2; 4; 7 ]
+
+(* Run [f] against a freshly reset global registry and return its result
+   together with the counter snapshot it produced. *)
+let with_counters f =
+  Obs.Registry.reset Obs.Registry.global;
+  let x = f () in
+  (x, Obs.Registry.counters Obs.Registry.global)
+
+(* --- random traces ---------------------------------------------------- *)
+
+(* Same well-formed-trace generator family as test_hawkset's reference
+   equivalence suite: a few threads, each running a random script of
+   critical sections, PM accesses and persists over a small address space,
+   interleaved at random. *)
+module Gen = struct
+  type op =
+    | O_store of int * int
+    | O_load of int * int
+    | O_persist of int
+    | O_locked of int * op list
+
+  let rec gen_op depth =
+    QCheck.Gen.(
+      let addr = map (fun i -> 128 + (8 * i)) (int_bound 5) in
+      let leaf =
+        frequency
+          [
+            (4, map2 (fun a l -> O_store (a, l)) addr (int_range 1 30));
+            (4, map2 (fun a l -> O_load (a, l)) addr (int_range 31 60));
+            (2, map (fun a -> O_persist a) addr);
+          ]
+      in
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (8, leaf);
+            ( 2,
+              map2
+                (fun lock body -> O_locked (lock, body))
+                (int_bound 2)
+                (list_size (int_bound 4) (gen_op (depth - 1))) );
+          ])
+
+  let gen_script = QCheck.Gen.(list_size (int_range 1 12) (gen_op 2))
+
+  let rec expand ~t ops =
+    let tid = Trace.Tid.of_int t in
+    let file = "rnd.ml" in
+    List.concat_map
+      (fun op ->
+        match op with
+        | O_store (addr, l) ->
+            [ Trace.Event.Store
+                { tid; addr; size = 8; site = Trace.Site.v file ((100 * t) + l);
+                  non_temporal = false } ]
+        | O_load (addr, l) ->
+            [ Trace.Event.Load
+                { tid; addr; size = 8; site = Trace.Site.v file ((100 * t) + l) } ]
+        | O_persist addr ->
+            [ Trace.Event.Flush
+                { tid; line = Pmem.Layout.line_of addr; kind = Trace.Event.Clwb;
+                  site = Trace.Site.v file 0 };
+              Trace.Event.Fence { tid; site = Trace.Site.v file 0 } ]
+        | O_locked (lock, body) ->
+            (Trace.Event.Lock_acquire
+               { tid; lock = Trace.Lock_id.of_int lock;
+                 site = Trace.Site.v file 0 }
+            :: expand ~t body)
+            @ [ Trace.Event.Lock_release
+                  { tid; lock = Trace.Lock_id.of_int lock;
+                    site = Trace.Site.v file 0 } ])
+      ops
+
+  let gen_trace =
+    QCheck.Gen.(
+      int_range 2 4 >>= fun nthreads ->
+      list_repeat nthreads gen_script >>= fun scripts ->
+      int >>= fun shuffle_seed ->
+      let queues =
+        List.mapi (fun i script -> ref (expand ~t:(i + 1) script)) scripts
+      in
+      let creates =
+        List.init nthreads (fun i ->
+            Trace.Event.Thread_create
+              { parent = Trace.Tid.main; child = Trace.Tid.of_int (i + 1) })
+      in
+      let prng = Machine.Prng.create shuffle_seed in
+      let out = ref (List.rev creates) in
+      let rec drain () =
+        let nonempty = List.filter (fun q -> !q <> []) queues in
+        match nonempty with
+        | [] -> ()
+        | qs ->
+            let q = List.nth qs (Machine.Prng.int prng (List.length qs)) in
+            (match !q with
+            | ev :: rest ->
+                out := ev :: !out;
+                q := rest
+            | [] -> ());
+            drain ()
+      in
+      drain ();
+      let joins =
+        List.init nthreads (fun i ->
+            Trace.Event.Thread_join
+              { waiter = Trace.Tid.main; joined = Trace.Tid.of_int (i + 1) })
+      in
+      return (Trace.Tracebuf.of_list (List.rev !out @ joins)))
+
+  let arb_trace =
+    QCheck.make
+      ~print:(fun t ->
+        String.concat "\n"
+          (List.map Trace.Trace_io.event_to_line (Trace.Tracebuf.to_list t)))
+      gen_trace
+end
+
+module Random_tests = struct
+  (* The tentpole property: on every collected record set, every jobs
+     count reproduces the sequential outcome exactly — structurally equal
+     report (ordering and witness fields included), equal pair count and
+     an equal counter snapshot. *)
+  let differential irh =
+    QCheck.Test.make
+      ~name:
+        (Printf.sprintf "par == seq for jobs in {1,2,4,7} (irh=%b)" irh)
+      ~count:150 Gen.arb_trace
+      (fun trace ->
+        let c = Hawkset.Collector.collect ~irh trace in
+        let seq, seq_counters =
+          with_counters (fun () -> Hawkset.Analysis.run c)
+        in
+        List.for_all
+          (fun jobs ->
+            let par, par_counters =
+              with_counters (fun () ->
+                  Hawkset.Par_analysis.analyse ~jobs c)
+            in
+            par.Hawkset.Analysis.report = seq.Hawkset.Analysis.report
+            && Hawkset.Report.to_json par.Hawkset.Analysis.report
+               = Hawkset.Report.to_json seq.Hawkset.Analysis.report
+            && par.Hawkset.Analysis.pairs = seq.Hawkset.Analysis.pairs
+            && par_counters = seq_counters)
+          jobs_values)
+
+  (* Feature ablations shard identically too: the kernel is the same
+     function either way. *)
+  let differential_features =
+    QCheck.Test.make ~name:"par == seq under feature ablations" ~count:60
+      Gen.arb_trace
+      (fun trace ->
+        let c = Hawkset.Collector.collect ~irh:false trace in
+        List.for_all
+          (fun features ->
+            let seq = Hawkset.Analysis.run ~features c in
+            List.for_all
+              (fun jobs ->
+                let par = Hawkset.Par_analysis.analyse ~features ~jobs c in
+                par.Hawkset.Analysis.report = seq.Hawkset.Analysis.report
+                && par.Hawkset.Analysis.pairs = seq.Hawkset.Analysis.pairs)
+              [ 2; 7 ])
+          [
+            Hawkset.Analysis.traditional;
+            { Hawkset.Analysis.all_features with vector_clocks = false };
+            { Hawkset.Analysis.all_features with timestamps = false };
+          ])
+
+  (* More shards than words: every extra domain gets an empty range and
+     the merge must still be exact. *)
+  let more_jobs_than_words () =
+    let trace =
+      Trace.Tracebuf.of_list
+        [
+          Trace.Event.Thread_create
+            { parent = Trace.Tid.main; child = Trace.Tid.of_int 1 };
+          Trace.Event.Thread_create
+            { parent = Trace.Tid.main; child = Trace.Tid.of_int 2 };
+          Trace.Event.Store
+            { tid = Trace.Tid.of_int 1; addr = 128; size = 8;
+              site = Trace.Site.v "one.ml" 1; non_temporal = false };
+          Trace.Event.Load
+            { tid = Trace.Tid.of_int 2; addr = 128; size = 8;
+              site = Trace.Site.v "one.ml" 2 };
+        ]
+    in
+    let c = Hawkset.Collector.collect ~irh:false trace in
+    let seq = Hawkset.Analysis.run c in
+    List.iter
+      (fun jobs ->
+        let par = Hawkset.Par_analysis.analyse ~jobs c in
+        Alcotest.(check bool)
+          (Printf.sprintf "jobs=%d equals sequential" jobs)
+          true
+          (par.Hawkset.Analysis.report = seq.Hawkset.Analysis.report
+          && par.Hawkset.Analysis.pairs = seq.Hawkset.Analysis.pairs))
+      [ 2; 16; 64 ];
+    Alcotest.(check int) "the race is found" 1
+      (Hawkset.Report.count seq.Hawkset.Analysis.report)
+
+  let empty_trace () =
+    let c = Hawkset.Collector.collect ~irh:false (Trace.Tracebuf.of_list []) in
+    List.iter
+      (fun jobs ->
+        let par = Hawkset.Par_analysis.analyse ~jobs c in
+        Alcotest.(check int)
+          (Printf.sprintf "jobs=%d: no races" jobs)
+          0
+          (Hawkset.Report.count par.Hawkset.Analysis.report);
+        Alcotest.(check int)
+          (Printf.sprintf "jobs=%d: no pairs" jobs)
+          0 par.Hawkset.Analysis.pairs)
+      jobs_values
+
+  let tests =
+    [
+      QCheck_alcotest.to_alcotest (differential false);
+      QCheck_alcotest.to_alcotest (differential true);
+      QCheck_alcotest.to_alcotest differential_features;
+      Alcotest.test_case "more jobs than words" `Quick more_jobs_than_words;
+      Alcotest.test_case "empty trace" `Quick empty_trace;
+    ]
+end
+
+(* --- every registered application ------------------------------------- *)
+
+module App_tests = struct
+  (* End-to-end through the pipeline: for each Table 1 application the
+     full config (IRH on) must give the same races, pair count and
+     per-run counter delta at every jobs count. *)
+  let app_differential (entry : Pmapps.Registry.entry) () =
+    let ops = Pmapps.Registry.clamp_ops entry 250 in
+    let report = entry.Pmapps.Registry.run ~seed:11 ~ops () in
+    let trace = report.Machine.Sched.trace in
+    let run jobs =
+      Hawkset.Pipeline.run
+        ~config:{ Hawkset.Pipeline.default with Hawkset.Pipeline.jobs = jobs }
+        trace
+    in
+    let seq = run 1 in
+    List.iter
+      (fun jobs ->
+        let par = run jobs in
+        Alcotest.(check int)
+          (Printf.sprintf "jobs=%d recorded" jobs)
+          jobs par.Hawkset.Pipeline.jobs;
+        Alcotest.(check string)
+          (Printf.sprintf "jobs=%d races identical" jobs)
+          (Hawkset.Report.to_json seq.Hawkset.Pipeline.races)
+          (Hawkset.Report.to_json par.Hawkset.Pipeline.races);
+        Alcotest.(check int)
+          (Printf.sprintf "jobs=%d pairs identical" jobs)
+          seq.Hawkset.Pipeline.pairs_examined
+          par.Hawkset.Pipeline.pairs_examined;
+        Alcotest.(check (list (pair string int)))
+          (Printf.sprintf "jobs=%d counters identical" jobs)
+          seq.Hawkset.Pipeline.counters par.Hawkset.Pipeline.counters)
+      (List.tl jobs_values)
+
+  let tests =
+    List.map
+      (fun (e : Pmapps.Registry.entry) ->
+        Alcotest.test_case e.Pmapps.Registry.reg_name `Slow
+          (app_differential e))
+      Pmapps.Registry.all
+end
+
+(* --- golden fixtures --------------------------------------------------- *)
+
+module Golden_tests = struct
+  (* Hand-written traces under fixtures/ with their exact expected
+     reports baked in: a regression net for the report's witness fields,
+     which the differential tests only compare between two live runs. *)
+  type expect = {
+    e_store : string;
+    e_load : string;
+    e_store_tid : int;
+    e_load_tid : int;
+    e_addr : int;
+    e_end : Hawkset.Access.end_kind;
+    e_occ : int;
+  }
+
+  let check_fixture file expects () =
+    let trace = Trace.Trace_io.load (Filename.concat "fixtures" file) in
+    List.iter
+      (fun jobs ->
+        let r =
+          Hawkset.Pipeline.run
+            ~config:
+              { Hawkset.Pipeline.default with Hawkset.Pipeline.jobs = jobs }
+            trace
+        in
+        let races = Hawkset.Report.sorted r.Hawkset.Pipeline.races in
+        Alcotest.(check int)
+          (Printf.sprintf "jobs=%d: race count" jobs)
+          (List.length expects) (List.length races);
+        List.iter2
+          (fun e (race : Hawkset.Report.race) ->
+            let ctx fmt =
+              Printf.sprintf "jobs=%d %s->%s: %s" jobs e.e_store e.e_load fmt
+            in
+            Alcotest.(check string)
+              (ctx "store site")
+              e.e_store
+              (Trace.Site.location race.Hawkset.Report.store_site);
+            Alcotest.(check string)
+              (ctx "load site")
+              e.e_load
+              (Trace.Site.location race.Hawkset.Report.load_site);
+            Alcotest.(check int)
+              (ctx "store tid")
+              e.e_store_tid race.Hawkset.Report.store_tid;
+            Alcotest.(check int)
+              (ctx "load tid")
+              e.e_load_tid race.Hawkset.Report.load_tid;
+            Alcotest.(check int) (ctx "addr") e.e_addr race.Hawkset.Report.addr;
+            Alcotest.(check bool)
+              (ctx "window end")
+              true
+              (race.Hawkset.Report.window_end = e.e_end);
+            Alcotest.(check int)
+              (ctx "occurrences")
+              e.e_occ race.Hawkset.Report.occurrences)
+          expects races)
+      [ 1; 4 ]
+
+  (* A store published under lock 7 and loaded by another thread under the
+     same lock, but persisted only after the critical section: the
+     effective lockset is empty, so the lock does not protect the pair.
+     The second word (persisted inside the section) must stay silent. *)
+  let publish_unpersisted =
+    check_fixture "publish_unpersisted.trace"
+      [
+        {
+          e_store = "fix_a.ml:6";
+          e_load = "fix_a.ml:11";
+          e_store_tid = 1;
+          e_load_tid = 2;
+          e_addr = 128;
+          e_end = Hawkset.Access.Persisted_same_thread;
+          e_occ = 1;
+        };
+      ]
+
+  (* An 8-byte store crossing a word boundary caught by a 4-byte load on
+     its tail, plus a second witness at another address for the same site
+     pair: one aggregated report with two occurrences. The disjoint-bytes
+     pair and the store-store pair must stay silent. *)
+  let overlap_aggregate =
+    check_fixture "overlap_aggregate.trace"
+      [
+        {
+          e_store = "fix_b.ml:3";
+          e_load = "fix_b.ml:8";
+          e_store_tid = 1;
+          e_load_tid = 2;
+          e_addr = 128;
+          e_end = Hawkset.Access.Open_at_exit;
+          e_occ = 2;
+        };
+      ]
+
+  let tests =
+    [
+      Alcotest.test_case "publish before persist" `Quick publish_unpersisted;
+      Alcotest.test_case "overlap aggregation" `Quick overlap_aggregate;
+    ]
+end
+
+let () =
+  Alcotest.run "par_analysis"
+    [
+      ("random", Random_tests.tests);
+      ("apps", App_tests.tests);
+      ("golden", Golden_tests.tests);
+    ]
