@@ -222,6 +222,111 @@ let par ~full =
             points));
   sweep
 
+(* ---- crash sweep (the `crash-sweep` target) ----
+   Runs the fault-injection sweep on the four bug-target apps named in the
+   acceptance criteria plus the pmlog control, hunting across a few seeds
+   until each target bug is manifested (damage at a crash point whose
+   prefix analysis reports that bug). Then demonstrates the degradation
+   contract: an exhausted event budget and a deliberately-failing shard
+   both still return a report. Exits non-zero via assert on violation. *)
+
+let crash_sweep ~full =
+  let ops = if full then 1_200 else 400 in
+  let base = { Crashtest.default_config with Crashtest.c_ops = ops } in
+  (* (app, bug that must manifest); None = control, must stay clean. *)
+  let targets =
+    [ ("fast-fair", Some 1); ("turbo-hash", Some 3); ("p-clht", Some 4);
+      ("memcached-pmem", Some 12); ("pmlog", None) ]
+  in
+  let rows =
+    List.map
+      (fun (app, want) ->
+        let runner =
+          match Crashtest.runner_for app with
+          | Some r -> r
+          | None -> failwith (app ^ " has no crash-sweep runner")
+        in
+        let rec hunt = function
+          | [] -> Crashtest.run_sweep ~config:base runner
+          | seed :: rest -> (
+              let config = { base with Crashtest.c_seed = seed } in
+              let sweep = Crashtest.run_sweep ~config runner in
+              match want with
+              | Some id
+                when (not (List.mem id sweep.Crashtest.sw_manifested))
+                     && rest <> [] ->
+                  hunt rest
+              | Some _ | None -> sweep)
+        in
+        let sweep = hunt [ 42; 7; 1; 13; 99 ] in
+        ({ Harness.Crash_sweep.cs_runner = runner; cs_sweep = sweep }, want))
+      targets
+  in
+  print_string (Harness.Crash_sweep.to_string (List.map fst rows));
+  (* Acceptance: the injected bugs are manifested, the control is clean. *)
+  List.iter
+    (fun ((r : Harness.Crash_sweep.row), want) ->
+      let s = r.Harness.Crash_sweep.cs_sweep in
+      match want with
+      | Some id ->
+          if not (List.mem id s.Crashtest.sw_manifested) then
+            failwith
+              (Printf.sprintf "bug #%d did not manifest on %s" id
+                 s.Crashtest.sw_app)
+      | None ->
+          if s.Crashtest.sw_damaged <> 0 || s.Crashtest.sw_raised <> 0 then
+            failwith
+              (Printf.sprintf "control %s was damaged (%d) / raised (%d)"
+                 s.Crashtest.sw_app s.Crashtest.sw_damaged
+                 s.Crashtest.sw_raised))
+    rows;
+  (* Degradation demo 1: an exhausted event budget still yields a report,
+     flagged as truncated. *)
+  let trace = fast_fair_trace 4_000 42 in
+  let budget = Trace.Tracebuf.length trace / 2 in
+  let degraded =
+    Hawkset.Pipeline.run
+      ~config:
+        { Hawkset.Pipeline.default with Hawkset.Pipeline.event_budget = Some budget }
+      trace
+  in
+  assert (
+    List.exists
+      (fun (t : Hawkset.Pipeline.truncation) ->
+        t.Hawkset.Pipeline.trunc_stage = "collect"
+        && t.Hawkset.Pipeline.trunc_reason = "event_budget"
+        && t.Hawkset.Pipeline.trunc_done = budget)
+      degraded.Hawkset.Pipeline.truncated);
+  (* Degradation demo 2: a deliberately-failing shard is retried and the
+     result is bit-identical to the healthy sequential run. *)
+  let collected = Hawkset.Collector.collect trace in
+  let seq = Hawkset.Analysis.run collected in
+  let before = Obs.Registry.counters Obs.Registry.global in
+  let withfail =
+    Hawkset.Par_analysis.analyse ~jobs:4
+      ~inject_shard_failure:(fun shard -> shard = 1)
+      collected
+  in
+  let after = Obs.Registry.counters Obs.Registry.global in
+  let delta name =
+    let v l = Option.value ~default:0 (List.assoc_opt name l) in
+    v after - v before
+  in
+  assert (
+    Hawkset.Report.to_json withfail.Hawkset.Analysis.report
+    = Hawkset.Report.to_json seq.Hawkset.Analysis.report);
+  assert (withfail.Hawkset.Analysis.pairs = seq.Hawkset.Analysis.pairs);
+  assert (delta "analysis.shard_failures" = 1);
+  assert (delta "analysis.shard_retries" = 1);
+  print_string (Harness.Tables.section "Degradation contract");
+  Printf.printf
+    "event budget %d/%d: report returned, truncated=[collect:event_budget]\n\
+     injected shard failure: retried sequentially, report bit-identical \
+     (%d pairs)\n"
+    budget
+    (Trace.Tracebuf.length trace)
+    withfail.Hawkset.Analysis.pairs
+
 (* ---- pipeline perf-trajectory emitter (BENCH_pipeline.json) ----
    One instrumented fast-fair run per workload size: per-stage seconds,
    peak live heap and the deterministic counter snapshot, machine-readable
@@ -285,7 +390,7 @@ let () =
   let any =
     List.exists wants
       [ "table1"; "table2"; "table3"; "table4"; "figure6"; "ablation";
-        "micro"; "par"; "json"; "--json" ]
+        "micro"; "par"; "json"; "--json"; "crash-sweep" ]
   in
   let run name f = if (not any) || wants name then f ~full in
   run "table1" table1;
@@ -294,6 +399,8 @@ let () =
   run "table4" table4;
   run "figure6" figure6;
   run "ablation" ablation;
+  (* `crash-sweep` is opt-in only: it executes hundreds of cut runs. *)
+  if wants "crash-sweep" then crash_sweep ~full;
   (* `par` and `json` (or `--json`) are opt-in only: they are not part of
      the default everything-run because they re-execute instrumented
      workloads. `par` prints the jobs sweep and records it in

@@ -8,6 +8,17 @@
 
 open Cmdliner
 
+(* Trace files come from outside the process; a truncated or corrupted one
+   must produce a one-line diagnostic and exit 2, not a backtrace. The
+   exception carries the file so the top-level handler can say which input
+   was bad ({!Trace.Trace_io.Parse_error} only knows the line). *)
+exception Trace_error of string * int * string
+
+let load_trace file =
+  try Trace.Trace_io.load file
+  with Trace.Trace_io.Parse_error (line, msg) ->
+    raise (Trace_error (file, line, msg))
+
 let app_arg =
   let doc =
     "Application to analyse. One of: "
@@ -291,8 +302,24 @@ let trace_cmd =
     Term.(const go $ app_arg $ ops_arg 1000 $ seed_arg $ out)
 
 let analyze_cmd =
-  let go () file no_irh eadr jobs eraser json stats stats_json =
-    let trace = Trace.Trace_io.load file in
+  let go () file tolerant no_irh eadr jobs eraser json stats stats_json =
+    let trace =
+      if not tolerant then load_trace file
+      else begin
+        let t = Trace.Trace_io.load_tolerant file in
+        Format.eprintf "%s: salvaged %d events (%d lines dropped%s; checksum %s)@."
+          file t.Trace.Trace_io.salvaged_events t.Trace.Trace_io.dropped_lines
+          (match t.Trace.Trace_io.first_error with
+          | Some (line, msg) ->
+              Printf.sprintf "; first error at line %d: %s" line msg
+          | None -> "")
+          (match t.Trace.Trace_io.checksum with
+          | `Verified -> "verified"
+          | `Mismatch -> "MISMATCH"
+          | `Absent -> "absent");
+        t.Trace.Trace_io.salvaged
+      end
+    in
     let labels detector =
       [ ("trace", file); ("detector", detector);
         ("events", string_of_int (Trace.Tracebuf.length trace)) ]
@@ -362,12 +389,22 @@ let analyze_cmd =
       value & flag
       & info [ "eraser" ] ~doc:"Use the traditional lockset baseline.")
   in
+  let tolerant =
+    Arg.(
+      value & flag
+      & info [ "tolerant" ]
+          ~doc:
+            "Salvage a damaged trace instead of failing: analyse the longest \
+             valid prefix and report (on stderr) how many lines were dropped, \
+             where the first error was and whether the checksum trailer \
+             verified.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Analyse a saved trace — the application-agnostic offline workflow:           the analyser knows nothing about what produced the events.")
-    Term.(const go $ logging_term $ file $ no_irh_arg $ eadr $ jobs_arg
-          $ eraser $ json_arg $ stats_arg $ stats_json_arg)
+    Term.(const go $ logging_term $ file $ tolerant $ no_irh_arg $ eadr
+          $ jobs_arg $ eraser $ json_arg $ stats_arg $ stats_json_arg)
 
 let bugs_cmd =
   let go () =
@@ -437,6 +474,95 @@ let figure6_cmd =
   Cmd.v (Cmd.info "figure6" ~doc:"Regenerate Figure 6's series.")
     Term.(const go $ small)
 
+let crash_sweep_cmd =
+  let go () apps seed ops threads stride max_points no_fences no_attribute
+      verify_budget details stats stats_json =
+    let config =
+      {
+        Crashtest.c_seed = seed;
+        c_ops = ops;
+        c_threads = threads;
+        c_stride = stride;
+        c_max_points = max_points;
+        c_fence_points = not no_fences;
+        c_attribute = not no_attribute;
+        c_verify_budget = verify_budget;
+      }
+    in
+    let rows = Harness.Crash_sweep.run ~config ~apps () in
+    if rows = [] then begin
+      Format.eprintf "no crash-sweep runner matched (try list-apps)@.";
+      exit 1
+    end;
+    print_string (Harness.Crash_sweep.to_string rows);
+    if details then
+      List.iter
+        (fun row -> print_string (Harness.Crash_sweep.details_string row))
+        rows;
+    emit_stats ~stats ~stats_json (Harness.Crash_sweep.manifest_of_sweeps rows)
+  in
+  let apps =
+    Arg.(
+      value & opt_all string []
+      & info [ "a"; "app" ] ~docv:"APP"
+          ~doc:
+            "Application to sweep (repeatable). Default: every application \
+             with a recovery entry point (all but Apex).")
+  in
+  let threads =
+    Arg.(
+      value & opt int Crashtest.default_config.Crashtest.c_threads
+      & info [ "threads" ] ~docv:"N" ~doc:"Worker threads in the workload.")
+  in
+  let stride =
+    Arg.(
+      value & opt int Crashtest.default_config.Crashtest.c_stride
+      & info [ "stride" ] ~docv:"N"
+          ~doc:"Scheduler-event stride between stride-family crash points.")
+  in
+  let max_points =
+    Arg.(
+      value & opt int Crashtest.default_config.Crashtest.c_max_points
+      & info [ "max-points" ] ~docv:"N"
+          ~doc:"Cap per crash-point family (fence points, stride points).")
+  in
+  let no_fences =
+    Arg.(
+      value & flag
+      & info [ "no-fence-points" ]
+          ~doc:"Skip the fence-boundary crash-point family.")
+  in
+  let no_attribute =
+    Arg.(
+      value & flag
+      & info [ "no-attribute" ]
+          ~doc:
+            "Skip running the detector on each damaged prefix (faster; the \
+             sweep then reports damage without ground-truth attribution).")
+  in
+  let verify_budget =
+    Arg.(
+      value & opt int Crashtest.default_config.Crashtest.c_verify_budget
+      & info [ "verify-budget" ] ~docv:"N"
+          ~doc:
+            "Event budget for each recovery run; a recovery that exceeds it \
+             counts as a recovery failure instead of hanging the sweep.")
+  in
+  let details =
+    Arg.(
+      value & flag
+      & info [ "details" ] ~doc:"Print the per-point outcome table per app.")
+  in
+  Cmd.v
+    (Cmd.info "crash-sweep"
+       ~doc:
+         "Fault injection: cut each application at fence boundaries and \
+          event strides, recover the worst-case persistent image and check \
+          what acknowledged work survived.")
+    Term.(const go $ logging_term $ apps $ seed_arg $ ops_arg 400 $ threads
+          $ stride $ max_points $ no_fences $ no_attribute $ verify_budget
+          $ details $ stats_arg $ stats_json_arg)
+
 let ablation_cmd =
   let go ops =
     print_string (Harness.Ablation.to_string (Harness.Ablation.run ~ops ()))
@@ -452,8 +578,21 @@ let () =
         "Automatic, application-agnostic and efficient concurrent PM bug \
          detection (EuroSys'25 reproduction)."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ run_cmd; list_cmd; bugs_cmd; trace_cmd; analyze_cmd; table2_cmd;
-            table3_cmd; table4_cmd; figure6_cmd; ablation_cmd ]))
+  let group =
+    Cmd.group info
+      [ run_cmd; list_cmd; bugs_cmd; trace_cmd; analyze_cmd; crash_sweep_cmd;
+        table2_cmd; table3_cmd; table4_cmd; figure6_cmd; ablation_cmd ]
+  in
+  (* [~catch:false] so damaged inputs reach this handler: a bad trace file
+     is an input problem (exit 2, one-line diagnostic), not a crash. *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception Trace_error (file, line, msg) ->
+      Format.eprintf "hawkset: %s:%d: %s@." file line msg;
+      exit 2
+  | exception Trace.Trace_io.Parse_error (line, msg) ->
+      Format.eprintf "hawkset: trace parse error at line %d: %s@." line msg;
+      exit 2
+  | exception Sys_error msg ->
+      Format.eprintf "hawkset: %s@." msg;
+      exit 2

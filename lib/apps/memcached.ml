@@ -155,6 +155,13 @@ let alloc_item t ctx =
   | None -> S.alloc ctx ~align:64 item_size
 
 let reused_items t = t.reused
+let base_addr t = t.base
+
+(* All state is reachable from the table block: recovery is just a
+   reattach. What a post-crash [get] then finds depends entirely on which
+   item/chain stores were actually flushed — the never-flushed stores of
+   bugs #12/#13/#15 are exactly what the crash sweep observes as damage. *)
+let recover _ctx ~base = { base; reused = 0 }
 
 (* ---- chain operations (all lock-free) ---- *)
 

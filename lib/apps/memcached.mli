@@ -51,3 +51,11 @@ val name : string
 val reused_items : t -> int
 (** How many item allocations were served from the PM free list (testing
     aid: >0 means the IRH-defeating pattern occurred). *)
+
+val base_addr : t -> int
+
+val recover : Machine.Sched.ctx -> base:int -> t
+(** Reattaches to the table block of a (post-crash) heap. Memcached-pmem
+    keeps no recovery log: whatever subset of the chains and items was
+    actually flushed is what a post-crash [get] sees — the never-flushed
+    stores of bugs #12/#13/#15 surface here as lost or stale data. *)

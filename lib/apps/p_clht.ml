@@ -220,9 +220,19 @@ let rehash t ctx =
   t.state <- mk_state ctx desc nbuckets;
   S.store_i64 ctx bug4_store_pos t.header (Int64.of_int desc);
   Machine.Mutex.unlock t.rehash_lock ctx __POS__;
-  (* BUG #4: the root pointer's persist happens outside the lock. A crash
-     before this line strands every insert that already went into the new
-     table: durable data behind an unpersisted root. *)
+  (* The original retires the old generation before touching the durable
+     root: a final pass over the drained buckets (modelled as the scan
+     loads; the free itself is volatile bookkeeping). Writers are already
+     on the new generation while this runs. *)
+  for i = 0 to old_state.nbuckets - 1 do
+    ignore
+      (S.load_i64 ctx rehash_scan_load_pos
+         (bucket_addr old_state.desc i + off_next))
+  done;
+  (* BUG #4: the root pointer's persist happens outside the lock, after
+     the cleanup pass. A crash before this line strands every insert that
+     already went into the new table: durable data behind an unpersisted
+     root. *)
   S.persist ctx __POS__ t.header 8
 
 let rec with_bucket t ctx key f =

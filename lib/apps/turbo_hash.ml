@@ -197,6 +197,8 @@ let check_consistency t ctx =
   done;
   List.rev !damage
 
+let bucket_of_key = hash
+
 let slot_of t ctx ~key =
   let rec go idx tries =
     if tries >= 8 then None

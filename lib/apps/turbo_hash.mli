@@ -20,6 +20,11 @@ val slot_of : t -> Machine.Sched.ctx -> key:int -> int option
 (** The slot index currently holding [key] (testing aid: slots >= 3 are
     the unpersisted ones). *)
 
+val bucket_of_key : int -> int
+(** The home bucket index [key] hashes to (pure; testing aid). Workloads
+    that want bug #3 to bite pick keys that collide into few buckets so
+    slots 3-6 — the unflushed second cache line — actually get used. *)
+
 val table_addr : t -> int
 
 val recover : Machine.Sched.ctx -> table_addr:int -> t

@@ -10,10 +10,12 @@ let all_features =
 let traditional =
   { effective_lockset = false; timestamps = false; vector_clocks = true }
 
-type outcome = { report : Report.t; pairs : int }
-
-let last_pairs = ref 0
-let pairs_examined () = !last_pairs
+type outcome = {
+  report : Report.t;
+  pairs : int;
+  words_analysed : int;
+  words_total : int;
+}
 
 (* Observability counters for the §4 optimisations: how much work the
    memoisation and happens-before pruning actually save. All bumps happen
@@ -71,8 +73,6 @@ module Kernel = struct
 
   let pairs stats = Obs.Buffer.value stats.s_pairs
   let buffer stats = stats.buf
-  let set_last_pairs n = last_pairs := n
-
   let sorted_words = Collector.sorted_load_words
 
   (* Memoized comparisons on interned ids (§4: "direct comparison"). *)
@@ -175,15 +175,25 @@ module Kernel = struct
     Obs.Metric.add obs_vc_memo_hits (vc_lookups - vc_misses)
 end
 
-let run ?(features = all_features) (c : Collector.result) =
+let run ?(features = all_features) ?stop (c : Collector.result) =
   let memo = Kernel.make_memo () in
   let stats = Kernel.make_stats () in
   let words = Kernel.sorted_words c in
   let report = ref Report.empty in
-  Array.iter
-    (fun word ->
-      report := Kernel.analyse_word ~features ~memo ~stats c word !report)
-    words;
+  let analysed = ref 0 in
+  (* Word boundaries are the cancellation points: a deadline never tears a
+     word's pair enumeration, so a truncated report is exactly the full
+     analysis of the words it did visit. *)
+  (try
+     Array.iter
+       (fun word ->
+         (match stop with
+         | Some f when f () -> raise Exit
+         | Some _ | None -> ());
+         report := Kernel.analyse_word ~features ~memo ~stats c word !report;
+         incr analysed)
+       words
+   with Exit -> ());
   let pairs = Kernel.pairs stats in
   Obs.Buffer.flush stats.Kernel.buf;
   Kernel.flush_memo_counters
@@ -191,10 +201,14 @@ let run ?(features = all_features) (c : Collector.result) =
     ~ls_misses:(Hashtbl.length memo.Kernel.disjoint_memo)
     ~vc_lookups:memo.Kernel.vc_lookups
     ~vc_misses:(Hashtbl.length memo.Kernel.leq_memo);
-  last_pairs := pairs;
   Obs.Logger.debug ~section:"analysis" (fun () ->
       Printf.sprintf "analyse: %d pairs examined, %d reports" pairs
         (Report.count !report));
-  { report = !report; pairs }
+  {
+    report = !report;
+    pairs;
+    words_analysed = !analysed;
+    words_total = Array.length words;
+  }
 
 let analyse ?features c = (run ?features c).report

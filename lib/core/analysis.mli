@@ -42,23 +42,22 @@ type outcome = {
   pairs : int;
       (** (window, load) pairs examined — the work metric reported by the
           efficiency benchmarks. *)
+  words_analysed : int;
+      (** Canonical words actually visited; < [words_total] only when a
+          [stop] predicate cut the run short. *)
+  words_total : int;
 }
 
-val run : ?features:features -> Collector.result -> outcome
+val run : ?features:features -> ?stop:(unit -> bool) -> Collector.result -> outcome
 (** Runs Algorithm 1 over the collected access records, sequentially, and
-    returns the report together with the pair count. *)
+    returns the report together with the pair count. [stop] is polled at
+    word boundaries; when it returns [true] the remaining words are
+    skipped and the outcome covers exactly the words visited
+    ([words_analysed] of [words_total]) — the pipeline's deadline
+    degradation. *)
 
 val analyse : ?features:features -> Collector.result -> Report.t
 (** [(run c).report]. *)
-
-val pairs_examined : unit -> int
-  [@@ocaml.deprecated
-    "Global mutable state, unsound once analyses run on multiple domains: \
-     read the [pairs] field of Analysis.run / Par_analysis.analyse instead."]
-(** Pair count of the most recent {!run} / {!Par_analysis.analyse} in this
-    process. Deprecated (kept updated for one release): it is a single
-    global cell, so concurrent analyses trample each other's value — use
-    {!outcome.pairs}. *)
 
 (** The word-level kernel shared by this module's sequential driver and
     {!Par_analysis}'s sharded one. A (memo, stats) pair must only ever be
@@ -100,10 +99,6 @@ module Kernel : sig
       (window, load) pair canonical to [word] and returns [report]
       extended with the races found, in the loads-outer/windows-inner
       order of the collected lists. *)
-
-  val set_last_pairs : int -> unit
-  (** Back-compat: updates the cell behind the deprecated
-      {!pairs_examined} without tripping the deprecation alert. *)
 
   val flush_memo_counters :
     ls_lookups:int -> ls_misses:int -> vc_lookups:int -> vc_misses:int -> unit

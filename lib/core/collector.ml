@@ -418,7 +418,7 @@ let pp_stats ppf s =
     s.c_windows_closed s.c_load_records s.c_irh_discarded_stores
     s.c_irh_discarded_loads s.c_locksets s.c_vclocks s.c_words
 
-let collect ?(irh = true) ?(timestamps = true) ?(eadr = false) trace =
+let collect ?(irh = true) ?(timestamps = true) ?(eadr = false) ?stop trace =
   let st =
     {
       irh;
@@ -449,28 +449,39 @@ let collect ?(irh = true) ?(timestamps = true) ?(eadr = false) trace =
   Obs.Logger.debug ~section:"collector" (fun () ->
       Printf.sprintf "collect: %d events (irh=%b ts=%b eadr=%b)"
         (Trace.Tracebuf.length trace) irh timestamps eadr);
-  Trace.Tracebuf.iter
-    (fun ev ->
-      match ev with
-      | Trace.Event.Store { tid; addr; size; site; non_temporal = _ } ->
-          on_store st ~tid ~addr ~size ~site
-      | Trace.Event.Load { tid; addr; size; site } ->
-          on_load st ~tid ~addr ~size ~site
-      | Trace.Event.Flush { tid; line; kind = _; site = _ } ->
-          on_flush st ~tid ~line
-      | Trace.Event.Fence { tid; site = _ } -> on_fence st ~tid
-      | Trace.Event.Lock_acquire { tid; lock; site = _ } ->
-          on_acquire st ~tid ~lock
-      | Trace.Event.Lock_release { tid; lock; site = _ } ->
-          on_release st ~tid ~lock
-      | Trace.Event.Thread_create { parent; child } ->
-          on_create st ~parent ~child
-      | Trace.Event.Thread_join { waiter; joined } -> on_join st ~waiter ~joined)
-    trace;
+  let consumed = ref 0 in
+  (* [stop] is polled every 512 events: a tripped deadline abandons the
+     rest of the trace and finalizes what was tracked so far — the result
+     is exactly the collection of the consumed prefix. *)
+  (try
+     Trace.Tracebuf.iter
+       (fun ev ->
+         (match stop with
+         | Some f when !consumed land 511 = 0 && f () -> raise Exit
+         | Some _ | None -> ());
+         incr consumed;
+         match ev with
+         | Trace.Event.Store { tid; addr; size; site; non_temporal = _ } ->
+             on_store st ~tid ~addr ~size ~site
+         | Trace.Event.Load { tid; addr; size; site } ->
+             on_load st ~tid ~addr ~size ~site
+         | Trace.Event.Flush { tid; line; kind = _; site = _ } ->
+             on_flush st ~tid ~line
+         | Trace.Event.Fence { tid; site = _ } -> on_fence st ~tid
+         | Trace.Event.Lock_acquire { tid; lock; site = _ } ->
+             on_acquire st ~tid ~lock
+         | Trace.Event.Lock_release { tid; lock; site = _ } ->
+             on_release st ~tid ~lock
+         | Trace.Event.Thread_create { parent; child } ->
+             on_create st ~parent ~child
+         | Trace.Event.Thread_join { waiter; joined } ->
+             on_join st ~waiter ~joined)
+       trace
+   with Exit -> ());
   finalize st;
   let stats =
     {
-      c_events = Trace.Tracebuf.length trace;
+      c_events = !consumed;
       c_stores = st.n_stores;
       c_loads = st.n_loads;
       c_windows = st.n_windows;

@@ -44,9 +44,18 @@ type result = {
     relies on to shard the word space without copying the records. *)
 
 val collect :
-  ?irh:bool -> ?timestamps:bool -> ?eadr:bool -> Trace.Tracebuf.t -> result
+  ?irh:bool ->
+  ?timestamps:bool ->
+  ?eadr:bool ->
+  ?stop:(unit -> bool) ->
+  Trace.Tracebuf.t ->
+  result
 (** [collect trace] replays the trace and produces the deduplicated access
     records, grouped by word. [irh] (default [true]) enables stage 2.
+    [stop] is polled every 512 events; when it fires, the remaining events
+    are abandoned and the result is exactly the collection of the consumed
+    prefix ([stats.c_events] counts consumed events, so a truncated
+    collection is visible as [c_events < Tracebuf.length trace]).
     [timestamps] (default [true]) makes the effective-lockset intersection
     timestamp-aware (§3.1.2); disabling it is the Figure 2b ablation that
     misses release-and-reacquire races. [eadr] (default [false]) analyses

@@ -5,20 +5,42 @@
 
 module K = Analysis.Kernel
 
+(* Shard-failure isolation: a domain that raises is recorded and its
+   range re-run sequentially on the joining domain; only if the retry
+   also raises is the range skipped. All three counters are zero on every
+   healthy run, so they never perturb the cross-jobs counter-determinism
+   invariant. *)
+let obs_shard_failures = Obs.Registry.counter "analysis.shard_failures"
+let obs_shard_retries = Obs.Registry.counter "analysis.shard_retries"
+let obs_shard_skipped = Obs.Registry.counter "analysis.shard_ranges_skipped"
+
 type shard_result = {
   sr_report : Report.t;
   sr_memo : K.memo;
   sr_stats : K.stats;
+  sr_analysed : int;
 }
 
-let run_shard ~features (c : Collector.result) (words : int array) lo hi =
+let run_shard ?stop ~features (c : Collector.result) (words : int array) lo hi =
   let memo = K.make_memo () in
   let stats = K.make_stats () in
   let report = ref Report.empty in
-  for i = lo to hi - 1 do
-    report := K.analyse_word ~features ~memo ~stats c words.(i) !report
-  done;
-  { sr_report = !report; sr_memo = memo; sr_stats = stats }
+  let analysed = ref 0 in
+  (try
+     for i = lo to hi - 1 do
+       (match stop with
+       | Some f when f () -> raise Exit
+       | Some _ | None -> ());
+       report := K.analyse_word ~features ~memo ~stats c words.(i) !report;
+       incr analysed
+     done
+   with Exit -> ());
+  {
+    sr_report = !report;
+    sr_memo = memo;
+    sr_stats = stats;
+    sr_analysed = !analysed;
+  }
 
 (* Contiguous cost-balanced partition: cut after the word whose cumulative
    estimated cost crosses the next 1/shards-th of the total. Estimated
@@ -79,26 +101,67 @@ let merge_counters shard_results =
     ~vc_lookups:(sum (fun m -> m.K.vc_lookups))
     ~vc_misses:(union_size (fun m -> m.K.leq_memo))
 
-let analyse ?(features = Analysis.all_features) ?(jobs = 1) (c : Collector.result)
-    =
+let analyse ?(features = Analysis.all_features) ?(jobs = 1) ?stop
+    ?inject_shard_failure (c : Collector.result) =
   let words = K.sorted_words c in
   let shards = min (max 1 jobs) (max 1 (Array.length words)) in
-  if shards <= 1 then Analysis.run ~features c
+  if shards <= 1 then Analysis.run ~features ?stop c
   else begin
     let ranges = partition c words shards in
+    (* A shard's whole body runs inside the guard: any exception — the
+       injected test failure or a real one — becomes [Error] instead of
+       tearing down the joining domain. The injection fires before any
+       work, so a retried shard redoes the full range and merged counters
+       stay bit-identical to a failure-free run. *)
+    let guarded shard_idx lo hi () =
+      try
+        (match inject_shard_failure with
+        | Some f when f shard_idx ->
+            failwith (Printf.sprintf "injected shard failure (shard %d)" shard_idx)
+        | Some _ | None -> ());
+        Ok (run_shard ?stop ~features c words lo hi)
+      with e -> Error e
+    in
     (* Spawn every shard but the first; the first runs on this domain so a
        2-shard analysis costs one spawn. *)
     let spawned =
-      List.map
-        (fun (lo, hi) ->
-          Domain.spawn (fun () -> run_shard ~features c words lo hi))
+      List.mapi
+        (fun i (lo, hi) -> Domain.spawn (guarded (i + 1) lo hi))
         (List.tl ranges)
     in
     let first =
       let lo, hi = List.hd ranges in
-      run_shard ~features c words lo hi
+      guarded 0 lo hi ()
     in
-    let shard_results = first :: List.map Domain.join spawned in
+    let outcomes = first :: List.map Domain.join spawned in
+    (* Isolate failures: the failed domain's private report and counter
+       buffer are discarded whole (nothing was flushed), and the range is
+       re-run sequentially right here. Results stay in shard order. *)
+    let shard_results =
+      List.map2
+        (fun (lo, hi) outcome ->
+          match outcome with
+          | Ok sr -> Some sr
+          | Error e -> (
+              Obs.Metric.incr obs_shard_failures;
+              Obs.Logger.warn ~section:"analysis" (fun () ->
+                  Printf.sprintf
+                    "shard [%d,%d) failed (%s); retrying sequentially" lo hi
+                    (Printexc.to_string e));
+              match run_shard ?stop ~features c words lo hi with
+              | sr ->
+                  Obs.Metric.incr obs_shard_retries;
+                  Some sr
+              | exception e2 ->
+                  Obs.Metric.incr obs_shard_skipped;
+                  Obs.Logger.err ~section:"analysis" (fun () ->
+                      Printf.sprintf
+                        "shard [%d,%d) failed again (%s); range skipped" lo hi
+                        (Printexc.to_string e2));
+                  None))
+        ranges outcomes
+      |> List.filter_map Fun.id
+    in
     let report =
       List.fold_left
         (fun acc sr -> Report.merge acc sr.sr_report)
@@ -107,10 +170,17 @@ let analyse ?(features = Analysis.all_features) ?(jobs = 1) (c : Collector.resul
     let pairs =
       List.fold_left (fun acc sr -> acc + K.pairs sr.sr_stats) 0 shard_results
     in
+    let analysed =
+      List.fold_left (fun acc sr -> acc + sr.sr_analysed) 0 shard_results
+    in
     merge_counters shard_results;
-    K.set_last_pairs pairs;
     Obs.Logger.debug ~section:"analysis" (fun () ->
         Printf.sprintf "par analyse: %d shards, %d pairs examined, %d reports"
           shards pairs (Report.count report));
-    { Analysis.report; pairs }
+    {
+      Analysis.report;
+      pairs;
+      words_analysed = analysed;
+      words_total = Array.length words;
+    }
   end

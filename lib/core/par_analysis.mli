@@ -28,14 +28,36 @@
       {!Obs.Registry.global} only after every domain has joined.
 
     [jobs = 1] (the default) bypasses sharding entirely and is exactly
-    {!Analysis.run}. *)
+    {!Analysis.run}.
+
+    {2 Failure isolation}
+
+    A domain that raises no longer poisons the run: its private report and
+    counter buffer are discarded whole (nothing had been flushed), the
+    failure is counted in [analysis.shard_failures], and the shard's word
+    range is re-run sequentially on the joining domain
+    ([analysis.shard_retries]). Only when the retry {e also} raises is the
+    range dropped ([analysis.shard_ranges_skipped]) — visible as
+    [words_analysed < words_total] in the outcome. Because a retried shard
+    redoes its full range from scratch, a run with transient failures
+    still produces the bit-identical report and counters. All three
+    counters are zero on healthy runs. *)
 
 val analyse :
   ?features:Analysis.features ->
   ?jobs:int ->
+  ?stop:(unit -> bool) ->
+  ?inject_shard_failure:(int -> bool) ->
   Collector.result ->
   Analysis.outcome
 (** [analyse ~jobs c] runs Algorithm 1 over [c] on [max 1 jobs] domains
     (capped at the number of words). The returned report and every
     deterministic counter published to {!Obs.Registry.global} are
-    identical to the sequential {!Analysis.run} for any [jobs]. *)
+    identical to the sequential {!Analysis.run} for any [jobs].
+
+    [stop] is polled at word boundaries on every shard (deadline
+    degradation; a truncated parallel report is {e not} guaranteed
+    identical to a truncated sequential one — see DESIGN).
+    [inject_shard_failure] is a test hook: shard indices (0-based, in
+    range order) for which it returns [true] raise before doing any work,
+    exercising the isolation path without perturbing results. *)

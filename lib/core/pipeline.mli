@@ -18,6 +18,19 @@ type config = {
           sequential {!Analysis.run}; any value produces a bit-identical
           report and counter snapshot, so the knob only affects wall-clock
           time. *)
+  event_budget : int option;
+      (** Analyse at most this many trace events: an oversized trace is
+          cut to its budget-sized prefix (recorded in
+          {!result.truncated}). Deterministic — the same trace and budget
+          always analyse the same prefix. [None] = unbounded. *)
+  collect_deadline_s : float option;
+      (** Wall-clock budget for stage 1. On expiry collection stops at the
+          next 512-event boundary and the pipeline continues with the
+          records gathered so far. Best-effort and {e nondeterministic}
+          (see DESIGN: degradation contract). [None] = unbounded. *)
+  analyse_deadline_s : float option;
+      (** Wall-clock budget for stage 3, polled at word boundaries.
+          Same nondeterminism caveat. [None] = unbounded. *)
 }
 
 val default_jobs : int
@@ -30,13 +43,23 @@ val default : config
 val no_irh : config
 (** [default] with the IRH disabled — the Table 4 comparison point. *)
 
+(** One recorded degradation: which stage gave up, why
+    (["event_budget"], ["deadline"] or ["shard_skipped"]), and how much of
+    its work domain it covered — events for stage 1, canonical words for
+    stage 3. *)
+type truncation = {
+  trunc_stage : string;
+  trunc_reason : string;
+  trunc_done : int;
+  trunc_total : int;
+}
+
 type result = {
   races : Report.t;
   collector_stats : Collector.stats;
   pairs_examined : int;
       (** From {!Analysis.outcome.pairs} — the per-run value, safe under
-          concurrent analyses (unlike the deprecated
-          {!Analysis.pairs_examined} global). *)
+          concurrent analyses. *)
   jobs : int;  (** Analysis domains this run used ([config.jobs]). *)
   analysis_seconds : float;
       (** Wall-clock time of collection + analysis (the "testing time" the
@@ -49,9 +72,19 @@ type result = {
           by name — the pipeline's own work (events consumed, windows
           opened/closed, locksets interned, vclock comparisons, memo
           hits/misses, pairs pruned). Deterministic for a fixed trace. *)
+  truncated : truncation list;
+      (** Empty on a complete run. Non-empty means the report is a sound
+          analysis of {e part} of the trace (each entry says which part):
+          races it contains are real findings, but absence of a race is no
+          longer evidence of absence. In stage order; the
+          [pipeline.truncations] counter mirrors the length. *)
 }
 
 val run : ?config:config -> Trace.Tracebuf.t -> result
+(** Runs collection then analysis under [config]. Degradation contract:
+    with budgets/deadlines set (or a shard range skipped after repeated
+    failure) [run] still returns a [result] — work is dropped, never the
+    report; every drop is itemized in {!result.truncated}. *)
 
 val races : ?config:config -> Trace.Tracebuf.t -> Report.t
 (** Shorthand for [(run trace).races]. *)

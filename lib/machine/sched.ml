@@ -62,7 +62,9 @@ type t = {
   mutable nthreads : int;
   mutable last_scheduled : int;
   mutable events : int;
+  mutable fences : int; (* fences retired, for crash_after_fences *)
   crash_after : int option;
+  crash_after_fences : int option;
   mutable crashed : bool;
   mutable failure : exn option;
   mutable next_lock_id : int;
@@ -221,8 +223,11 @@ let sched_point _ctx =
   Effect.perform Switch
 
 let check_crash m =
-  match m.crash_after with
+  (match m.crash_after with
   | Some budget when m.events >= budget -> Effect.perform Crash_stop
+  | Some _ | None -> ());
+  match m.crash_after_fences with
+  | Some n when m.fences >= n -> Effect.perform Crash_stop
   | Some _ | None -> ()
 
 let emit ctx ev =
@@ -411,6 +416,7 @@ let fence ctx p =
   check_crash ctx.m;
   Pmem.Heap.fence ctx.m.heap ~tid:(tid ctx);
   emit ctx (Trace.Event.Fence { tid = tid ctx; site = site ctx p });
+  ctx.m.fences <- ctx.m.fences + 1;
   sched_point ctx
 
 let persist ctx p addr size =
@@ -467,7 +473,7 @@ let unpark ctx target =
 
 let run ?(seed = 0) ?(policy = Random_interleave)
     ?(sync_config = Sync_config.builtin) ?crash_after_events
-    ?(observe = false) ?pm_regions ~heap main =
+    ?crash_after_fences ?(observe = false) ?pm_regions ~heap main =
   let pm =
     match pm_regions with
     | Some r -> r
@@ -486,7 +492,9 @@ let run ?(seed = 0) ?(policy = Random_interleave)
       nthreads = 0;
       last_scheduled = -1;
       events = 0;
+      fences = 0;
       crash_after = crash_after_events;
+      crash_after_fences;
       crashed = false;
       failure = None;
       next_lock_id = 0;

@@ -72,6 +72,7 @@ val run :
   ?policy:policy ->
   ?sync_config:Sync_config.t ->
   ?crash_after_events:int ->
+  ?crash_after_fences:int ->
   ?observe:bool ->
   ?pm_regions:Pmem.Region.t ->
   heap:Pmem.Heap.t ->
@@ -79,7 +80,12 @@ val run :
   report
 (** [run ~heap main] executes [main] as the initial thread and returns
     once every spawned thread has finished (or the crash budget fired).
-    Defaults: [seed = 0], [policy = Random_interleave],
+    [crash_after_events:n] stops the machine at the first instrumented
+    operation once [n] events have been recorded;
+    [crash_after_fences:n] at the first instrumented operation after the
+    [n]-th fence retires — the crash points the crash sweep enumerates
+    (every persist boundary). Both may be given; whichever fires first
+    stops the run. Defaults: [seed = 0], [policy = Random_interleave],
     [sync_config = Sync_config.builtin], no crash, [observe = false].
     [pm_regions] registers which address ranges are mmap'ed PM files
     (§4/§A.5): accesses outside them are ordinary volatile memory —

@@ -241,6 +241,12 @@ let dirty_lines t =
       if Array.exists (fun w -> w <> 0) s.writers then acc + 1 else acc)
     t.lines 0
 
+let unpersisted_bytes t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      Array.fold_left (fun n w -> if w <> 0 then n + 1 else n) acc s.writers)
+    t.lines 0
+
 let crash_image t =
   Obs.Metric.incr obs_crash_images;
   Bytes.copy t.persistent

@@ -95,6 +95,11 @@ val persisted_range : t -> addr:int -> size:int -> bool
 val dirty_lines : t -> int
 (** Number of cache lines currently holding unpersisted data. *)
 
+val unpersisted_bytes : t -> int
+(** Number of bytes whose volatile and persistent images may disagree —
+    data a crash at this instant would lose. The crash sweep records this
+    as the at-risk volume at each crash point. *)
+
 (** {1 Crash simulation} *)
 
 val crash_image : t -> bytes

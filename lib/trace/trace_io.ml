@@ -122,28 +122,152 @@ let event_of_line_at lineno line =
 
 let event_of_line line = event_of_line_at 0 line
 
+(* ---- checksum trailer ----
+
+   [write] appends "# trailer events=<n> fnv1a=<16-hex>" after the last
+   event: an FNV-1a 64-bit hash of the canonical serialization of every
+   event (each [event_to_line ev] followed by '\n'). Readers re-hash the
+   canonical form of each *parsed* event, so verification is independent
+   of insignificant whitespace but catches content corruption. Being a
+   comment line, the trailer is invisible to pre-trailer readers. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a_string h s =
+  let h = ref h in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  Int64.mul (Int64.logxor !h 0x0aL) fnv_prime (* the trailing '\n' *)
+
+let trailer_tag = "# trailer "
+
+let trailer_line ~events ~hash =
+  Printf.sprintf "# trailer events=%d fnv1a=%016Lx" events hash
+
+(* [Some (events, hash)] when [trimmed] is a well-formed trailer,
+   [None] when it is some other comment. A line that starts with the
+   trailer tag but does not scan is reported as malformed. *)
+let parse_trailer trimmed =
+  if not (String.length trimmed >= String.length trailer_tag
+          && String.sub trimmed 0 (String.length trailer_tag) = trailer_tag)
+  then Ok None
+  else
+    match
+      Scanf.sscanf_opt trimmed "# trailer events=%d fnv1a=%Lx%!" (fun n h ->
+          (n, h))
+    with
+    | Some (n, h) -> Ok (Some (n, h))
+    | None -> Error "malformed trailer"
+
 let write oc trace =
   output_string oc header;
   output_char oc '\n';
+  let hash = ref fnv_offset in
   Tracebuf.iter
     (fun ev ->
-      output_string oc (event_to_line ev);
+      let line = event_to_line ev in
+      hash := fnv1a_string !hash line;
+      output_string oc line;
       output_char oc '\n')
-    trace
+    trace;
+  output_string oc (trailer_line ~events:(Tracebuf.length trace) ~hash:!hash);
+  output_char oc '\n'
 
-let read ic =
-  let trace = Tracebuf.create () in
+(* Shared scanning loop. [on_event lineno trimmed] may raise (strict) or
+   record-and-stop (tolerant); [on_trailer lineno result] decides what a
+   (possibly malformed) trailer means. *)
+let scan_lines ic ~on_event ~on_trailer =
   let lineno = ref 0 in
   (try
      while true do
        let line = input_line ic in
        incr lineno;
        let trimmed = String.trim line in
-       if trimmed <> "" && trimmed.[0] <> '#' then
-         Tracebuf.push trace (event_of_line_at !lineno trimmed)
+       if trimmed <> "" then
+         if trimmed.[0] = '#' then on_trailer !lineno (parse_trailer trimmed)
+         else on_event !lineno trimmed
      done
    with End_of_file -> ());
+  !lineno
+
+let read ic =
+  let trace = Tracebuf.create () in
+  let hash = ref fnv_offset in
+  let _lines =
+    scan_lines ic
+      ~on_event:(fun lineno trimmed ->
+        let ev = event_of_line_at lineno trimmed in
+        hash := fnv1a_string !hash (event_to_line ev);
+        Tracebuf.push trace ev)
+      ~on_trailer:(fun lineno -> function
+        | Ok None -> ()
+        | Error msg -> raise (Parse_error (lineno, msg))
+        | Ok (Some (events, h)) ->
+            if events <> Tracebuf.length trace then
+              raise
+                (Parse_error
+                   ( lineno,
+                     Printf.sprintf
+                       "trailer event count mismatch: trailer says %d, trace \
+                        has %d"
+                       events (Tracebuf.length trace) ));
+            if h <> !hash then
+              raise
+                (Parse_error
+                   ( lineno,
+                     Printf.sprintf
+                       "trailer checksum mismatch: trailer says %016Lx, \
+                        events hash to %016Lx"
+                       h !hash )))
+  in
   trace
+
+type tolerant = {
+  salvaged : Tracebuf.t;
+  salvaged_events : int;
+  dropped_lines : int;
+  first_error : (int * string) option;
+  checksum : [ `Verified | `Mismatch | `Absent ];
+}
+
+let read_tolerant ic =
+  let trace = Tracebuf.create () in
+  let hash = ref fnv_offset in
+  let first_error = ref None in
+  let dropped = ref 0 in
+  let checksum = ref `Absent in
+  let _lines =
+    scan_lines ic
+      ~on_event:(fun lineno trimmed ->
+        match !first_error with
+        | Some _ -> incr dropped
+        | None -> (
+            match event_of_line_at lineno trimmed with
+            | ev ->
+                hash := fnv1a_string !hash (event_to_line ev);
+                Tracebuf.push trace ev
+            | exception Parse_error (l, msg) ->
+                first_error := Some (l, msg);
+                incr dropped))
+      ~on_trailer:(fun lineno -> function
+        | Ok None -> ()
+        | Error _ ->
+            ignore lineno;
+            checksum := `Mismatch
+        | Ok (Some (events, h)) ->
+            checksum :=
+              if events = Tracebuf.length trace && h = !hash then `Verified
+              else `Mismatch)
+  in
+  {
+    salvaged = trace;
+    salvaged_events = Tracebuf.length trace;
+    dropped_lines = !dropped;
+    first_error = !first_error;
+    checksum = !checksum;
+  }
 
 let save path trace =
   let oc = open_out path in
@@ -152,3 +276,7 @@ let save path trace =
 let load path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)
+
+let load_tolerant path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_tolerant ic)

@@ -15,13 +15,24 @@
     R <tid> <lock> <file>:<line> [frames]     (release)
     C <parent> <child>                        (thread create)
     J <waiter> <joined>                       (thread join)
-    v} *)
+    # trailer events=<n> fnv1a=<16-hex>       (integrity trailer)
+    v}
+
+    [write] appends an integrity trailer: the event count plus an FNV-1a
+    64-bit hash of the canonical serialization of every event. Strict
+    readers verify it when present; {!load_tolerant} downgrades any
+    corruption to a report and salvages the valid prefix. Traces written
+    before the trailer existed (no trailer line) still load. *)
 
 exception Parse_error of int * string
 (** Line number and message. *)
 
 val write : out_channel -> Tracebuf.t -> unit
+
 val read : in_channel -> Tracebuf.t
+(** Strict read: raises {!Parse_error} on the first malformed line, and
+    at the trailer's line number when the trailer is present but its
+    event count or checksum does not match the events read. *)
 
 val save : string -> Tracebuf.t -> unit
 (** [save path trace] writes the trace to [path]. *)
@@ -29,6 +40,29 @@ val save : string -> Tracebuf.t -> unit
 val load : string -> Tracebuf.t
 (** Raises {!Parse_error} on malformed input and [Sys_error] on IO
     failure. *)
+
+(** Result of a tolerant load: the longest valid prefix plus an account
+    of everything that had to be dropped. Never raises {!Parse_error}. *)
+type tolerant = {
+  salvaged : Tracebuf.t;  (** Events up to (not including) the first bad line. *)
+  salvaged_events : int;  (** [Tracebuf.length salvaged]. *)
+  dropped_lines : int;
+      (** Non-blank, non-comment lines not salvaged — the malformed line
+          itself plus everything after it. [0] on a clean trace. *)
+  first_error : (int * string) option;
+      (** Line number and message of the first malformed line, if any. *)
+  checksum : [ `Verified | `Mismatch | `Absent ];
+      (** Trailer status: [`Verified] when present and matching the
+          salvaged events, [`Mismatch] when present but disagreeing
+          (corruption, or events were dropped), [`Absent] when the file
+          has no trailer (pre-trailer trace, or truncated before it). *)
+}
+
+val read_tolerant : in_channel -> tolerant
+
+val load_tolerant : string -> tolerant
+(** Salvage what can be salvaged. Only [Sys_error] (file unreadable)
+    escapes. *)
 
 val event_to_line : Event.t -> string
 val event_of_line : string -> Event.t

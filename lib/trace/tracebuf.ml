@@ -45,6 +45,12 @@ let fold f acc t =
 
 let to_list t = List.init t.len (fun i -> t.events.(i))
 
+let prefix t n =
+  let n = max 0 (min n t.len) in
+  let events = Array.make (max n 1) dummy in
+  Array.blit t.events 0 events 0 n;
+  { events; len = n }
+
 let of_list evs =
   let t = create ~capacity:(max 1 (List.length evs)) () in
   List.iter (push t) evs;

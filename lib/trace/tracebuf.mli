@@ -23,6 +23,11 @@ val to_list : t -> Event.t list
 val of_list : Event.t list -> t
 (** Builds a trace directly, used by tests that hand-craft executions. *)
 
+val prefix : t -> int -> t
+(** [prefix t n] is a fresh trace holding the first [n] events of [t]
+    ([t] itself when [n >= length t]). Used by the pipeline's event
+    budget to analyse a bounded prefix of an oversized trace. *)
+
 (** Per-kind event counts, used by trace statistics and the evaluation
     harness. *)
 type stats = {

@@ -346,6 +346,230 @@ M 0 x.ml:1
     ]
 end
 
+module Fuzz_tests = struct
+  (* Corruption fuzzing for the trace format: serialized traces carry a
+     checksum trailer, so the strict reader must either return exactly
+     what was written or raise [Parse_error] — silently returning altered
+     events is the one forbidden outcome. The tolerant reader must never
+     raise and must salvage exactly the valid prefix. *)
+
+  let gen_event =
+    QCheck.Gen.(
+      let tid = map Trace.Tid.of_int (int_bound 3) in
+      let addr = map (fun i -> 64 + (8 * i)) (int_bound 64) in
+      let size = oneofl [ 1; 2; 4; 8 ] in
+      let site =
+        map3
+          (fun f l frames -> Trace.Site.v ~frames (Printf.sprintf "f%d.ml" f) l)
+          (int_bound 4) (int_range 1 500)
+          (oneofl [ []; [ "ins" ]; [ "ins"; "main" ] ])
+      in
+      frequency
+        [
+          ( 4,
+            map2
+              (fun (tid, addr) (size, site) ->
+                Trace.Event.Store
+                  { tid; addr; size; site; non_temporal = false })
+              (pair tid addr) (pair size site) );
+          ( 4,
+            map2
+              (fun (tid, addr) (size, site) ->
+                Trace.Event.Load { tid; addr; size; site })
+              (pair tid addr) (pair size site) );
+          ( 2,
+            map3
+              (fun tid addr site ->
+                Trace.Event.Flush
+                  { tid; line = addr; kind = Trace.Event.Clwb; site })
+              tid addr site );
+          (2, map2 (fun tid site -> Trace.Event.Fence { tid; site }) tid site);
+          ( 1,
+            map3
+              (fun tid lock site ->
+                Trace.Event.Lock_acquire
+                  { tid; lock = Trace.Lock_id.of_int lock; site })
+              tid (int_bound 7) site );
+          ( 1,
+            map3
+              (fun tid lock site ->
+                Trace.Event.Lock_release
+                  { tid; lock = Trace.Lock_id.of_int lock; site })
+              tid (int_bound 7) site );
+        ])
+
+  let gen_events = QCheck.Gen.(list_size (int_range 1 30) gen_event)
+
+  let canon t = List.map Trace.Trace_io.event_to_line (Trace.Tracebuf.to_list t)
+
+  (* Serialize through the real writer so the string carries the trailer. *)
+  let serialize evs =
+    let path = Filename.temp_file "hawkset_fuzz" ".trace" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Trace.Trace_io.save path (Trace.Tracebuf.of_list evs);
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic)))
+
+  let with_string s f =
+    let path = Filename.temp_file "hawkset_fuzz" ".trace" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out_bin path in
+        output_string oc s;
+        close_out oc;
+        f path)
+
+  (* Complete event lines fully contained in [prefix] — what a tolerant
+     read of the truncated file must at least recover. *)
+  let complete_events prefix =
+    let lines = String.split_on_char '\n' prefix in
+    let lines =
+      (* Without a trailing newline the final segment is a partial line. *)
+      if String.length prefix > 0 && prefix.[String.length prefix - 1] = '\n'
+      then lines
+      else match List.rev lines with [] -> [] | _ :: r -> List.rev r
+    in
+    List.length
+      (List.filter
+         (fun l ->
+           let t = String.trim l in
+           t <> "" && t.[0] <> '#')
+         lines)
+
+  let roundtrip_with_trailer =
+    QCheck.Test.make ~name:"save/load round-trips and verifies the trailer"
+      ~count:100 (QCheck.make gen_events) (fun evs ->
+        let s = serialize evs in
+        let has_trailer =
+          List.exists
+            (fun l ->
+              String.length l >= 10 && String.sub l 0 10 = "# trailer ")
+            (String.split_on_char '\n' s)
+        in
+        with_string s (fun path ->
+            let strict = Trace.Trace_io.load path in
+            let t = Trace.Trace_io.load_tolerant path in
+            has_trailer
+            && canon strict = List.map Trace.Trace_io.event_to_line evs
+            && t.Trace.Trace_io.checksum = `Verified
+            && t.Trace.Trace_io.dropped_lines = 0
+            && t.Trace.Trace_io.first_error = None
+            && canon t.Trace.Trace_io.salvaged = canon strict))
+
+  let truncate_salvages_prefix =
+    QCheck.Test.make ~name:"truncation at any byte salvages a valid prefix"
+      ~count:200
+      QCheck.(make Gen.(pair gen_events (float_bound_inclusive 1.0)))
+      (fun (evs, frac) ->
+        let s = serialize evs in
+        let k = int_of_float (frac *. float_of_int (String.length s)) in
+        let k = min k (String.length s) in
+        let prefix = String.sub s 0 k in
+        let complete = complete_events prefix in
+        let orig = List.map Trace.Trace_io.event_to_line evs in
+        with_string prefix (fun path ->
+            let t = Trace.Trace_io.load_tolerant path in
+            let n = List.length evs in
+            let salvaged = canon t.Trace.Trace_io.salvaged in
+            (* Salvage is exactly the complete lines, plus at most one
+               event from a cut line that happens to still parse. *)
+            t.Trace.Trace_io.salvaged_events >= complete
+            && t.Trace.Trace_io.salvaged_events <= min n (complete + 1)
+            && List.for_all2 ( = )
+                 (List.filteri (fun i _ -> i < complete) salvaged)
+                 (List.filteri (fun i _ -> i < complete) orig)
+            && (k < String.length s
+               || t.Trace.Trace_io.checksum = `Verified
+                  && t.Trace.Trace_io.salvaged_events = n)
+            (* The strict reader may reject the truncation, but if it
+               accepts, everything before any cut line matches what was
+               written. *)
+            &&
+            match Trace.Trace_io.load path with
+            | strict ->
+                let c = canon strict in
+                List.length c <= n
+                && List.for_all2 ( = )
+                     (List.filteri (fun i _ -> i < complete) c)
+                     (List.filteri (fun i _ -> i < complete) orig)
+            | exception Trace.Trace_io.Parse_error _ -> true))
+
+  let flip_is_caught =
+    QCheck.Test.make
+      ~name:"a flipped byte either fails the load or changes nothing"
+      ~count:300
+      QCheck.(
+        make Gen.(triple gen_events (float_bound_inclusive 1.0) (int_range 1 255)))
+      (fun (evs, frac, xor) ->
+        let s = serialize evs in
+        let p =
+          min (String.length s - 1)
+            (int_of_float (frac *. float_of_int (String.length s)))
+        in
+        let flipped = Bytes.of_string s in
+        Bytes.set flipped p (Char.chr (Char.code s.[p] lxor xor));
+        let flipped = Bytes.to_string flipped in
+        with_string flipped (fun path ->
+            (* Forbidden outcome: a strict load that "succeeds" with
+               different events than were written. *)
+            (match Trace.Trace_io.load path with
+            | strict -> canon strict = List.map Trace.Trace_io.event_to_line evs
+            | exception Trace.Trace_io.Parse_error _ -> true)
+            &&
+            (* The tolerant reader absorbs the same corruption. *)
+            match Trace.Trace_io.load_tolerant path with
+            | _ -> true
+            | exception Trace.Trace_io.Parse_error _ -> false))
+
+  let inject_malformed_line =
+    QCheck.Test.make
+      ~name:"a malformed line is located exactly; tolerant salvages before it"
+      ~count:200
+      QCheck.(make Gen.(pair gen_events (float_bound_inclusive 1.0)))
+      (fun (evs, frac) ->
+        let n = List.length evs in
+        let j = min n (int_of_float (frac *. float_of_int (n + 1))) in
+        let lines = String.split_on_char '\n' (serialize evs) in
+        (* serialize ends with '\n': last split segment is "". Lines:
+           header, n events, trailer, "". Insert before event j, i.e. at
+           list index 1 + j; its 1-based line number is j + 2. *)
+        let rec insert i = function
+          | rest when i = 0 -> "Z bogus" :: rest
+          | [] -> [ "Z bogus" ]
+          | l :: rest -> l :: insert (i - 1) rest
+        in
+        let corrupted = String.concat "\n" (insert (1 + j) lines) in
+        let orig = List.map Trace.Trace_io.event_to_line evs in
+        with_string corrupted (fun path ->
+            (match Trace.Trace_io.load path with
+            | _ -> false
+            | exception Trace.Trace_io.Parse_error (line, _) -> line = j + 2)
+            &&
+            let t = Trace.Trace_io.load_tolerant path in
+            t.Trace.Trace_io.salvaged_events = j
+            && canon t.Trace.Trace_io.salvaged
+               = List.filteri (fun i _ -> i < j) orig
+            && t.Trace.Trace_io.dropped_lines = 1 + (n - j)
+            && (match t.Trace.Trace_io.first_error with
+               | Some (line, _) -> line = j + 2
+               | None -> false)
+            && t.Trace.Trace_io.checksum
+               = (if j = n then `Verified else `Mismatch)))
+
+  let tests =
+    [
+      QCheck_alcotest.to_alcotest roundtrip_with_trailer;
+      QCheck_alcotest.to_alcotest truncate_salvages_prefix;
+      QCheck_alcotest.to_alcotest flip_is_caught;
+      QCheck_alcotest.to_alcotest inject_malformed_line;
+    ]
+end
+
 let () =
   Alcotest.run "trace"
     [
@@ -355,4 +579,5 @@ let () =
       ("tracebuf", Tracebuf_tests.tests);
       ("interner", Interner_tests.tests);
       ("trace_io", Trace_io_tests.tests);
+      ("fuzz", Fuzz_tests.tests);
     ]
