@@ -148,33 +148,81 @@ type par_point = {
   pp_jobs : int;
   pp_analyse_s : float;
   pp_speedup : float;
+  pp_collect_s : float;
+  pp_collect_events_per_s : float;
+  pp_ls_hit_rate : float; (* lockset memo: hits / lookups *)
+  pp_vc_hit_rate : float; (* vclock memo: hits / lookups *)
 }
+
+(* Best-of-N pipeline timing at one jobs setting; also captures the memo
+   hit rates from the global counter deltas of the first run (the rates
+   are deterministic — asserted identical across jobs by the counter
+   differential test, so which run supplies them is immaterial). *)
+let timed_point ?(rounds = 3) ~trace jobs =
+  let config = { Hawkset.Pipeline.default with jobs } in
+  let best_a = ref infinity in
+  let best_c = ref infinity in
+  let baseline = ref None in
+  let rates = ref (nan, nan) in
+  for round = 1 to rounds do
+    let before = Obs.Registry.counters Obs.Registry.global in
+    let r = Hawkset.Pipeline.run ~config trace in
+    (if round = 1 then
+       let after = Obs.Registry.counters Obs.Registry.global in
+       let delta name =
+         let v l = Option.value ~default:0 (List.assoc_opt name l) in
+         v after - v before
+       in
+       let rate hits misses =
+         let lookups = hits + misses in
+         if lookups = 0 then 0. else float_of_int hits /. float_of_int lookups
+       in
+       rates :=
+         ( rate
+             (delta "analysis.lockset_memo_hits")
+             (delta "analysis.lockset_memo_misses"),
+           rate
+             (delta "analysis.vclock_memo_hits")
+             (delta "analysis.vclock_comparisons") ));
+    (match !baseline with
+    | None -> baseline := Some r
+    | Some b ->
+        assert (
+          Hawkset.Report.to_json r.Hawkset.Pipeline.races
+          = Hawkset.Report.to_json b.Hawkset.Pipeline.races));
+    best_a :=
+      Float.min !best_a (List.assoc "analyse" r.Hawkset.Pipeline.stage_seconds);
+    best_c :=
+      Float.min !best_c (List.assoc "collect" r.Hawkset.Pipeline.stage_seconds)
+  done;
+  let r = Option.get !baseline in
+  let events =
+    r.Hawkset.Pipeline.collector_stats.Hawkset.Collector.c_events
+  in
+  let ls_rate, vc_rate = !rates in
+  ( {
+      pp_jobs = jobs;
+      pp_analyse_s = !best_a;
+      pp_speedup = 1.0 (* filled by the caller against the jobs=1 point *);
+      pp_collect_s = !best_c;
+      pp_collect_events_per_s =
+        (if !best_c > 0. then float_of_int events /. !best_c else 0.);
+      pp_ls_hit_rate = ls_rate;
+      pp_vc_hit_rate = vc_rate;
+    },
+    r )
 
 let par_sweep ~full =
   let ops = if full then 100_000 else 8_000 in
   let trace = fast_fair_trace ops 42 in
   let jobs_list = [ 1; 2; 4; 8 ] in
-  let analyse_seconds jobs =
-    let config = { Hawkset.Pipeline.default with jobs } in
-    let best = ref infinity in
-    let baseline = ref None in
-    for _ = 1 to 3 do
-      let r = Hawkset.Pipeline.run ~config trace in
-      (match !baseline with
-      | None -> baseline := Some r
-      | Some b ->
-          assert (
-            Hawkset.Report.to_json r.Hawkset.Pipeline.races
-            = Hawkset.Report.to_json b.Hawkset.Pipeline.races));
-      best := Float.min !best (List.assoc "analyse" r.Hawkset.Pipeline.stage_seconds)
-    done;
-    (!best, Option.get !baseline)
-  in
-  let seq_s, seq_r = analyse_seconds 1 in
+  let seq_p, seq_r = timed_point ~trace 1 in
   let points =
     List.map
       (fun jobs ->
-        let s, r = if jobs = 1 then (seq_s, seq_r) else analyse_seconds jobs in
+        let p, r =
+          if jobs = 1 then (seq_p, seq_r) else timed_point ~trace jobs
+        in
         (* Parallel results must be bit-identical to sequential. *)
         assert (
           Hawkset.Report.to_json r.Hawkset.Pipeline.races
@@ -182,7 +230,7 @@ let par_sweep ~full =
         assert (
           r.Hawkset.Pipeline.pairs_examined
           = seq_r.Hawkset.Pipeline.pairs_examined);
-        { pp_jobs = jobs; pp_analyse_s = s; pp_speedup = seq_s /. s })
+        { p with pp_speedup = seq_p.pp_analyse_s /. p.pp_analyse_s })
       jobs_list
   in
   (ops, points)
@@ -201,6 +249,11 @@ let par_json (ops, points) =
                    ("jobs", Obs.Json.int p.pp_jobs);
                    ("analyse_seconds", Obs.Json.float p.pp_analyse_s);
                    ("speedup", Obs.Json.float p.pp_speedup);
+                   ("collect_seconds", Obs.Json.float p.pp_collect_s);
+                   ( "collect_events_per_s",
+                     Obs.Json.float p.pp_collect_events_per_s );
+                   ("lockset_memo_hit_rate", Obs.Json.float p.pp_ls_hit_rate);
+                   ("vclock_memo_hit_rate", Obs.Json.float p.pp_vc_hit_rate);
                  ])
              points) );
     ]
@@ -210,7 +263,11 @@ let par ~full =
   print_string (Harness.Tables.section "Parallel analysis (--jobs sweep)");
   print_string
     (Harness.Tables.render
-       ~headers:[ "Jobs"; "Analyse stage"; "Speedup vs --jobs 1" ]
+       ~headers:
+         [
+           "Jobs"; "Analyse stage"; "Speedup vs --jobs 1"; "Collect ev/s";
+           "LS memo hit"; "VC memo hit";
+         ]
        ~rows:
          (List.map
             (fun p ->
@@ -218,9 +275,43 @@ let par ~full =
                 string_of_int p.pp_jobs;
                 Printf.sprintf "%.4f s" p.pp_analyse_s;
                 Printf.sprintf "%.2fx" p.pp_speedup;
+                Printf.sprintf "%.0f" p.pp_collect_events_per_s;
+                Printf.sprintf "%.1f%%" (100. *. p.pp_ls_hit_rate);
+                Printf.sprintf "%.1f%%" (100. *. p.pp_vc_hit_rate);
               ])
             points));
   sweep
+
+(* ---- CI perf smoke (the `perf-smoke` target) ----
+   The cheap regression guard: on a single run of the Figure 6 workload,
+   jobs=4 analysis must not be slower than 1.2x sequential. On a
+   multi-core machine parallel analysis should win outright; the 1.2x
+   tolerance keeps the gate meaningful on single-core CI runners, where
+   the best achievable is parity and the bound catches any return of the
+   per-call spawn overhead this PR removed (0.36x speedup = 2.8x slower
+   at jobs=4 before the domain pool). Exits non-zero on violation. *)
+
+let perf_smoke ~full =
+  let ops = if full then 100_000 else 8_000 in
+  let trace = fast_fair_trace ops 42 in
+  let rounds = if full then 3 else 5 in
+  let seq_p, seq_r = timed_point ~rounds ~trace 1 in
+  let par_p, par_r = timed_point ~rounds ~trace 4 in
+  assert (
+    Hawkset.Report.to_json par_r.Hawkset.Pipeline.races
+    = Hawkset.Report.to_json seq_r.Hawkset.Pipeline.races);
+  let ratio = par_p.pp_analyse_s /. seq_p.pp_analyse_s in
+  print_string (Harness.Tables.section "Perf smoke (jobs=4 vs jobs=1)");
+  Printf.printf
+    "fast-fair/%d: analyse jobs=1 %.4fs, jobs=4 %.4fs (ratio %.2fx, bound \
+     1.20x)\n"
+    ops seq_p.pp_analyse_s par_p.pp_analyse_s ratio;
+  if ratio > 1.2 then begin
+    Printf.eprintf
+      "perf-smoke FAIL: jobs=4 analyse %.4fs > 1.2x sequential %.4fs\n"
+      par_p.pp_analyse_s seq_p.pp_analyse_s;
+    exit 1
+  end
 
 (* ---- crash sweep (the `crash-sweep` target) ----
    Runs the fault-injection sweep on the four bug-target apps named in the
@@ -369,7 +460,7 @@ let bench_json ?sweep ~full () =
   let doc =
     Obs.Json.obj
       [
-        ("schema", Obs.Json.str "hawkset.bench_pipeline/2");
+        ("schema", Obs.Json.str "hawkset.bench_pipeline/3");
         ("app", Obs.Json.str "fast-fair");
         ("seed", Obs.Json.int 42);
         ("points", Obs.Json.arr points);
@@ -390,7 +481,7 @@ let () =
   let any =
     List.exists wants
       [ "table1"; "table2"; "table3"; "table4"; "figure6"; "ablation";
-        "micro"; "par"; "json"; "--json"; "crash-sweep" ]
+        "micro"; "par"; "json"; "--json"; "crash-sweep"; "perf-smoke" ]
   in
   let run name f = if (not any) || wants name then f ~full in
   run "table1" table1;
@@ -401,6 +492,8 @@ let () =
   run "ablation" ablation;
   (* `crash-sweep` is opt-in only: it executes hundreds of cut runs. *)
   if wants "crash-sweep" then crash_sweep ~full;
+  (* `perf-smoke` is opt-in only: the CI regression gate. *)
+  if wants "perf-smoke" then perf_smoke ~full;
   (* `par` and `json` (or `--json`) are opt-in only: they are not part of
      the default everything-run because they re-execute instrumented
      workloads. `par` prints the jobs sweep and records it in

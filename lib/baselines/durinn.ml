@@ -20,12 +20,8 @@ let obs_confirmed = Obs.Registry.counter "durinn.confirmed"
    immediately with the load sites reading overlapping bytes. *)
 let candidates_of_trace trace =
   let c = Hawkset.Collector.collect ~irh:false trace in
-  let windows =
-    Hashtbl.fold (fun _ ws acc -> ws @ acc) c.Hawkset.Collector.windows_by_word []
-  in
-  let loads =
-    Hashtbl.fold (fun _ ls acc -> ls @ acc) c.Hawkset.Collector.loads_by_word []
-  in
+  let windows = Hawkset.Collector.all_windows c in
+  let loads = Hawkset.Collector.all_loads c in
   let by_store : (string, (string, unit) Hashtbl.t) Hashtbl.t =
     Hashtbl.create 32
   in

@@ -40,20 +40,81 @@ let () =
     ]
 
 module Kernel = struct
+  type memo_impl = [ `Packed | `Tuple ]
+
+  (* Memo tables for the interned-id comparisons. With [`Packed], a pair
+     of ids becomes one int key ({!Trace.Packed_key.pair}) probed in an
+     open-addressing map — no tuple allocation, no polymorphic hashing;
+     ids above the packable range (unreachable for dense interner ids,
+     but never silently wrong) fall back to the tuple tables, which also
+     serve as the whole implementation under [`Tuple] (the reference
+     path the differential tests compare against). Truth values are
+     stored as 0/1 because {!Trace.Int_tbl.Map.find} returns -1 for
+     absent. *)
   type memo = {
-    disjoint_memo : (int * int, bool) Hashtbl.t;
-    leq_memo : (int * int, bool) Hashtbl.t;
+    m_packed : bool;
+    p_disjoint : Trace.Int_tbl.Map.t;
+    p_leq : Trace.Int_tbl.Map.t;
+    t_disjoint : (int * int, bool) Hashtbl.t;
+    t_leq : (int * int, bool) Hashtbl.t;
     mutable ls_lookups : int;
     mutable vc_lookups : int;
   }
 
-  let make_memo () =
+  let make_memo ?(impl = `Packed) () =
     {
-      disjoint_memo = Hashtbl.create 256;
-      leq_memo = Hashtbl.create 256;
+      m_packed = (impl = `Packed);
+      p_disjoint = Trace.Int_tbl.Map.create ~size:512 ();
+      p_leq = Trace.Int_tbl.Map.create ~size:512 ();
+      t_disjoint = Hashtbl.create 64;
+      t_leq = Hashtbl.create 64;
       ls_lookups = 0;
       vc_lookups = 0;
     }
+
+  let memo_impl m : memo_impl = if m.m_packed then `Packed else `Tuple
+
+  (* Empty the tables but keep their capacity: a pooled domain reusing a
+     memo across [analyse] calls probes pre-grown arrays ("warm") while
+     still producing the counters of a fresh one. *)
+  let reset_memo m =
+    Trace.Int_tbl.Map.clear m.p_disjoint;
+    Trace.Int_tbl.Map.clear m.p_leq;
+    Hashtbl.clear m.t_disjoint;
+    Hashtbl.clear m.t_leq;
+    m.ls_lookups <- 0;
+    m.vc_lookups <- 0
+
+  let ls_lookups m = m.ls_lookups
+  let vc_lookups m = m.vc_lookups
+
+  (* Distinct keys probed. A key is packed or not by value alone, so the
+     two representations never overlap and the sum is exact. *)
+  let ls_misses m =
+    Trace.Int_tbl.Map.length m.p_disjoint + Hashtbl.length m.t_disjoint
+
+  let vc_misses m = Trace.Int_tbl.Map.length m.p_leq + Hashtbl.length m.t_leq
+
+  (* Globally distinct keys across several memo tables — the miss count a
+     single shared table would have had (see [flush_memo_counters]). *)
+  let union_misses memos =
+    let union proj_p proj_t =
+      let pseen = Trace.Int_tbl.Set.create ~size:1024 () in
+      let tseen = Hashtbl.create 64 in
+      List.iter
+        (fun m ->
+          Trace.Int_tbl.Map.iter_keys
+            (fun k -> ignore (Trace.Int_tbl.Set.add pseen k : bool))
+            (proj_p m);
+          Hashtbl.iter
+            (fun key _ ->
+              if not (Hashtbl.mem tseen key) then Hashtbl.add tseen key ())
+            (proj_t m))
+        memos;
+      Trace.Int_tbl.Set.length pseen + Hashtbl.length tseen
+    in
+    ( union (fun m -> m.p_disjoint) (fun m -> m.t_disjoint),
+      union (fun m -> m.p_leq) (fun m -> m.t_leq) )
 
   type stats = {
     buf : Obs.Buffer.t;
@@ -74,35 +135,80 @@ module Kernel = struct
   let pairs stats = Obs.Buffer.value stats.s_pairs
   let buffer stats = stats.buf
   let sorted_words = Collector.sorted_load_words
+  let slot_count (c : Collector.result) = Array.length c.Collector.slots
+
+  (* Estimated cost of a slot = the pair loop + the visit; used by
+     {!Par_analysis}'s balanced partition. *)
+  let slot_cost (c : Collector.result) i =
+    let wi = c.Collector.slots.(i) in
+    1
+    + Array.length c.Collector.loads_of.(wi)
+      * Array.length c.Collector.windows_of.(wi)
 
   (* Memoized comparisons on interned ids (§4: "direct comparison"). *)
   let disjoint ~tables ~memo a b =
     memo.ls_lookups <- memo.ls_lookups + 1;
-    let key = (a, b) in
-    match Hashtbl.find_opt memo.disjoint_memo key with
-    | Some r -> r
-    | None ->
-        let r =
-          Lockset.disjoint_locks
-            (Access.Ls_table.get tables.Access.ls a)
-            (Access.Ls_table.get tables.Access.ls b)
-        in
-        Hashtbl.add memo.disjoint_memo key r;
-        r
+    if
+      memo.m_packed && a <= Trace.Packed_key.pair_max
+      && b <= Trace.Packed_key.pair_max
+    then begin
+      let key = Trace.Packed_key.pair a b in
+      match Trace.Int_tbl.Map.find memo.p_disjoint key with
+      | -1 ->
+          let r =
+            Lockset.disjoint_locks
+              (Access.Ls_table.get tables.Access.ls a)
+              (Access.Ls_table.get tables.Access.ls b)
+          in
+          Trace.Int_tbl.Map.set memo.p_disjoint key (Bool.to_int r);
+          r
+      | v -> v <> 0
+    end
+    else begin
+      let key = (a, b) in
+      match Hashtbl.find_opt memo.t_disjoint key with
+      | Some r -> r
+      | None ->
+          let r =
+            Lockset.disjoint_locks
+              (Access.Ls_table.get tables.Access.ls a)
+              (Access.Ls_table.get tables.Access.ls b)
+          in
+          Hashtbl.add memo.t_disjoint key r;
+          r
+    end
 
   let leq ~tables ~memo a b =
     memo.vc_lookups <- memo.vc_lookups + 1;
-    let key = (a, b) in
-    match Hashtbl.find_opt memo.leq_memo key with
-    | Some r -> r
-    | None ->
-        let r =
-          Vclock.leq
-            (Access.Vc_table.get tables.Access.vc a)
-            (Access.Vc_table.get tables.Access.vc b)
-        in
-        Hashtbl.add memo.leq_memo key r;
-        r
+    if
+      memo.m_packed && a <= Trace.Packed_key.pair_max
+      && b <= Trace.Packed_key.pair_max
+    then begin
+      let key = Trace.Packed_key.pair a b in
+      match Trace.Int_tbl.Map.find memo.p_leq key with
+      | -1 ->
+          let r =
+            Vclock.leq
+              (Access.Vc_table.get tables.Access.vc a)
+              (Access.Vc_table.get tables.Access.vc b)
+          in
+          Trace.Int_tbl.Map.set memo.p_leq key (Bool.to_int r);
+          r
+      | v -> v <> 0
+    end
+    else begin
+      let key = (a, b) in
+      match Hashtbl.find_opt memo.t_leq key with
+      | Some r -> r
+      | None ->
+          let r =
+            Vclock.leq
+              (Access.Vc_table.get tables.Access.vc a)
+              (Access.Vc_table.get tables.Access.vc b)
+          in
+          Hashtbl.add memo.t_leq key r;
+          r
+    end
 
   (* The load may fall inside the store's visible-but-not-durable window:
      it must not happen-before the store, and the window's end (the
@@ -118,51 +224,52 @@ module Kernel = struct
        | None -> true
        | Some e -> not (leq ~tables ~memo e l.Access.l_vec)
 
-  let analyse_word ~features ~memo ~stats (c : Collector.result) word report =
-    match
-      ( Hashtbl.find_opt c.Collector.loads_by_word word,
-        Hashtbl.find_opt c.Collector.windows_by_word word )
-    with
-    | Some loads, Some windows ->
-        let tables = c.Collector.tables in
-        let report = ref report in
-        List.iter
-          (fun (l : Access.load) ->
-            List.iter
-              (fun (w : Access.window) ->
-                (* Examine each (window, load) pair at one canonical
-                   word even when the ranges share several. *)
-                let canonical =
-                  Pmem.Layout.word_index (max w.Access.w_addr l.Access.l_addr)
-                in
-                if
-                  canonical = word
-                  && w.Access.w_tid <> l.Access.l_tid
-                  && Pmem.Layout.ranges_overlap w.Access.w_addr w.Access.w_size
-                       l.Access.l_addr l.Access.l_size
-                then begin
-                  Obs.Buffer.incr stats.s_pairs;
-                  if not (may_overlap_window ~features ~tables ~memo w l) then
-                    Obs.Buffer.incr stats.s_pruned_hb
-                  else
-                    let store_ls =
-                      if features.effective_lockset then w.Access.w_eff
-                      else w.Access.w_store_ls
-                    in
-                    if disjoint ~tables ~memo store_ls l.Access.l_ls then begin
-                      Obs.Buffer.incr stats.s_races;
-                      report :=
-                        Report.add !report ~store_site:w.Access.w_site
-                          ~load_site:l.Access.l_site ~store_tid:w.Access.w_tid
-                          ~load_tid:l.Access.l_tid
-                          ~addr:(max w.Access.w_addr l.Access.l_addr)
-                          ~window_end:w.Access.w_end
-                    end
-                end)
-              windows)
-          loads;
-        !report
-    | _ -> report
+  let analyse_slot ~features ~memo ~stats (c : Collector.result) slot report =
+    let wi = c.Collector.slots.(slot) in
+    let windows = c.Collector.windows_of.(wi) in
+    if Array.length windows = 0 then report
+    else begin
+      let word = c.Collector.words.(wi) in
+      let loads = c.Collector.loads_of.(wi) in
+      let tables = c.Collector.tables in
+      let report = ref report in
+      for li = 0 to Array.length loads - 1 do
+        let l = loads.(li) in
+        for wj = 0 to Array.length windows - 1 do
+          let w = windows.(wj) in
+          (* Examine each (window, load) pair at one canonical word even
+             when the ranges share several. *)
+          let canonical =
+            Pmem.Layout.word_index (max w.Access.w_addr l.Access.l_addr)
+          in
+          if
+            canonical = word
+            && w.Access.w_tid <> l.Access.l_tid
+            && Pmem.Layout.ranges_overlap w.Access.w_addr w.Access.w_size
+                 l.Access.l_addr l.Access.l_size
+          then begin
+            Obs.Buffer.incr stats.s_pairs;
+            if not (may_overlap_window ~features ~tables ~memo w l) then
+              Obs.Buffer.incr stats.s_pruned_hb
+            else
+              let store_ls =
+                if features.effective_lockset then w.Access.w_eff
+                else w.Access.w_store_ls
+              in
+              if disjoint ~tables ~memo store_ls l.Access.l_ls then begin
+                Obs.Buffer.incr stats.s_races;
+                report :=
+                  Report.add !report ~store_site:w.Access.w_site
+                    ~load_site:l.Access.l_site ~store_tid:w.Access.w_tid
+                    ~load_tid:l.Access.l_tid
+                    ~addr:(max w.Access.w_addr l.Access.l_addr)
+                    ~window_end:w.Access.w_end
+              end
+          end
+        done
+      done;
+      !report
+    end
 
   (* Global-registry flush for the memo counters. The split is computed
      from totals so the published values are those of a single shared memo
@@ -175,32 +282,31 @@ module Kernel = struct
     Obs.Metric.add obs_vc_memo_hits (vc_lookups - vc_misses)
 end
 
-let run ?(features = all_features) ?stop (c : Collector.result) =
-  let memo = Kernel.make_memo () in
+let run ?(features = all_features) ?memo_impl ?stop (c : Collector.result) =
+  let memo = Kernel.make_memo ?impl:memo_impl () in
   let stats = Kernel.make_stats () in
-  let words = Kernel.sorted_words c in
+  let nslots = Kernel.slot_count c in
   let report = ref Report.empty in
   let analysed = ref 0 in
   (* Word boundaries are the cancellation points: a deadline never tears a
      word's pair enumeration, so a truncated report is exactly the full
      analysis of the words it did visit. *)
   (try
-     Array.iter
-       (fun word ->
-         (match stop with
-         | Some f when f () -> raise Exit
-         | Some _ | None -> ());
-         report := Kernel.analyse_word ~features ~memo ~stats c word !report;
-         incr analysed)
-       words
+     for slot = 0 to nslots - 1 do
+       (match stop with
+       | Some f when f () -> raise Exit
+       | Some _ | None -> ());
+       report := Kernel.analyse_slot ~features ~memo ~stats c slot !report;
+       incr analysed
+     done
    with Exit -> ());
   let pairs = Kernel.pairs stats in
   Obs.Buffer.flush stats.Kernel.buf;
   Kernel.flush_memo_counters
-    ~ls_lookups:memo.Kernel.ls_lookups
-    ~ls_misses:(Hashtbl.length memo.Kernel.disjoint_memo)
-    ~vc_lookups:memo.Kernel.vc_lookups
-    ~vc_misses:(Hashtbl.length memo.Kernel.leq_memo);
+    ~ls_lookups:(Kernel.ls_lookups memo)
+    ~ls_misses:(Kernel.ls_misses memo)
+    ~vc_lookups:(Kernel.vc_lookups memo)
+    ~vc_misses:(Kernel.vc_misses memo);
   Obs.Logger.debug ~section:"analysis" (fun () ->
       Printf.sprintf "analyse: %d pairs examined, %d reports" pairs
         (Report.count !report));
@@ -208,7 +314,7 @@ let run ?(features = all_features) ?stop (c : Collector.result) =
     report = !report;
     pairs;
     words_analysed = !analysed;
-    words_total = Array.length words;
+    words_total = nslots;
   }
 
 let analyse ?features c = (run ?features c).report

@@ -10,13 +10,15 @@
     The implementation uses the optimizations of §4 instead of the
     quadratic presentation: accesses are grouped by word, records are
     deduplicated upstream, lockset/vector-clock comparisons are memoized
-    on interned ids, and each (window, load) pair is examined at a single
-    canonical word even when the ranges share several.
+    on interned ids — with the id pair packed into a single int key, so a
+    memo probe allocates nothing — and each (window, load) pair is
+    examined at a single canonical word even when the ranges share
+    several.
 
-    Words are visited in ascending order of their canonical index, so the
+    Slots (load-bearing words) are visited in ascending word order, so the
     produced report is a deterministic function of the collected records —
     independent of hash-table layout — and {!Par_analysis} can reproduce
-    it exactly by sharding contiguous word ranges across domains.
+    it exactly by sharding contiguous slot ranges across domains.
 
     The [features] record exposes the design-ablation switches used by the
     evaluation: each corresponds to one step of the §3.1 construction. *)
@@ -43,37 +45,66 @@ type outcome = {
       (** (window, load) pairs examined — the work metric reported by the
           efficiency benchmarks. *)
   words_analysed : int;
-      (** Canonical words actually visited; < [words_total] only when a
-          [stop] predicate cut the run short. *)
+      (** Slots actually visited; < [words_total] only when a [stop]
+          predicate cut the run short. *)
   words_total : int;
 }
 
-val run : ?features:features -> ?stop:(unit -> bool) -> Collector.result -> outcome
+val run :
+  ?features:features ->
+  ?memo_impl:[ `Packed | `Tuple ] ->
+  ?stop:(unit -> bool) ->
+  Collector.result ->
+  outcome
 (** Runs Algorithm 1 over the collected access records, sequentially, and
     returns the report together with the pair count. [stop] is polled at
     word boundaries; when it returns [true] the remaining words are
     skipped and the outcome covers exactly the words visited
     ([words_analysed] of [words_total]) — the pipeline's deadline
-    degradation. *)
+    degradation. [memo_impl] (default [`Packed]) selects the memo-key
+    implementation; [`Tuple] is the tuple-keyed reference path the
+    differential tests compare against. Both produce identical outcomes
+    and counters. *)
 
 val analyse : ?features:features -> Collector.result -> Report.t
 (** [(run c).report]. *)
 
-(** The word-level kernel shared by this module's sequential driver and
+(** The slot-level kernel shared by this module's sequential driver and
     {!Par_analysis}'s sharded one. A (memo, stats) pair must only ever be
-    used from one domain; the collector result itself is read-only and may
-    be shared (see {!Collector.result}). *)
+    used from one domain at a time; the collector result itself is
+    read-only and may be shared (see {!Collector.result}). *)
 module Kernel : sig
-  type memo = {
-    disjoint_memo : (int * int, bool) Hashtbl.t;
-        (** Lockset-pair disjointness, keyed by interned ids. *)
-    leq_memo : (int * int, bool) Hashtbl.t;
-        (** Vector-clock [leq], keyed by interned ids. *)
-    mutable ls_lookups : int;  (** Total disjointness queries. *)
-    mutable vc_lookups : int;  (** Total [leq] queries. *)
-  }
+  type memo_impl = [ `Packed | `Tuple ]
 
-  val make_memo : unit -> memo
+  type memo
+  (** Memo tables for lockset-disjointness and vector-clock [leq] queries,
+      keyed by interned-id pairs. With [`Packed] the pair is packed into
+      one int ({!Trace.Packed_key.pair}) probed in an open-addressing map
+      (no allocation per probe); ids beyond the packable range fall back
+      to tuple-keyed tables, which are the whole implementation under
+      [`Tuple]. *)
+
+  val make_memo : ?impl:memo_impl -> unit -> memo
+  val memo_impl : memo -> memo_impl
+
+  val reset_memo : memo -> unit
+  (** Empty the tables and zero the lookup counters but keep the table
+      capacity — a pooled domain reusing a memo across runs probes warm
+      pre-grown arrays while producing the counters of a fresh memo. *)
+
+  val ls_lookups : memo -> int  (** Total disjointness queries. *)
+
+  val vc_lookups : memo -> int  (** Total [leq] queries. *)
+
+  val ls_misses : memo -> int
+  (** Distinct lockset-pair keys probed (= real computations). *)
+
+  val vc_misses : memo -> int
+
+  val union_misses : memo list -> int * int
+  (** [(ls, vc)] counts of {e globally} distinct keys across the given
+      memos — the misses one shared table would have had. Feeds
+      {!flush_memo_counters} after a sharded run. *)
 
   type stats
   (** Per-domain deterministic counters (pairs examined, HB prunes, races
@@ -84,10 +115,15 @@ module Kernel : sig
   val buffer : stats -> Obs.Buffer.t
 
   val sorted_words : Collector.result -> int array
-  (** = {!Collector.sorted_load_words}: the deterministic iteration and
-      sharding domain. *)
+  (** = {!Collector.sorted_load_words}. *)
 
-  val analyse_word :
+  val slot_count : Collector.result -> int
+
+  val slot_cost : Collector.result -> int -> int
+  (** Estimated cost of a slot: 1 + |loads| × |windows| — the pair loop
+      plus the visit. {!Par_analysis} balances shards on it. *)
+
+  val analyse_slot :
     features:features ->
     memo:memo ->
     stats:stats ->
@@ -95,10 +131,10 @@ module Kernel : sig
     int ->
     Report.t ->
     Report.t
-  (** [analyse_word ~features ~memo ~stats c word report] examines every
-      (window, load) pair canonical to [word] and returns [report]
-      extended with the races found, in the loads-outer/windows-inner
-      order of the collected lists. *)
+  (** [analyse_slot ~features ~memo ~stats c slot report] examines every
+      (window, load) pair canonical to slot [slot]'s word and returns
+      [report] extended with the races found, in the
+      loads-outer/windows-inner order of the collected records. *)
 
   val flush_memo_counters :
     ls_lookups:int -> ls_misses:int -> vc_lookups:int -> vc_misses:int -> unit

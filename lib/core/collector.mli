@@ -14,7 +14,13 @@
     issued while unpublished are discarded, and unpersisted stores prior
     to publication are kept (they can still race, as in the
     publish-before-persist pattern). As in the paper's implementation, the
-    heuristic runs alongside stage 1 rather than as a separate pass. *)
+    heuristic runs alongside stage 1 rather than as a separate pass.
+
+    The per-event hot paths are allocation-light: all per-word state lives
+    in one int-keyed cell found with a single probe, record deduplication
+    uses packed single-int keys ({!Trace.Packed_key}) in open-addressing
+    int sets, and interned lockset/vector-clock ids are cached per thread
+    so repeated events hash nothing. *)
 
 type stats = {
   c_events : int;
@@ -33,20 +39,30 @@ type stats = {
 
 type result = {
   tables : Access.tables;
-  windows_by_word : (int, Access.window list) Hashtbl.t;
-  loads_by_word : (int, Access.load list) Hashtbl.t;
+  words : int array;  (** Record-bearing word indexes, ascending. *)
+  windows_of : Access.window array array;
+      (** [windows_of.(i)] — windows of [words.(i)], newest-first (the
+          iteration order of the cons lists this layout replaces, so the
+          report order is unchanged). *)
+  loads_of : Access.load array array;  (** Loads per word, newest-first. *)
+  slots : int array;
+      (** Indexes into [words] carrying at least one load record — the
+          deterministic iteration (and sharding) domain of stage 3. Slots
+          whose word has no windows are included; the analysis skips
+          them. *)
   stats : stats;
 }
 (** A result is frozen once [collect] returns: stage 3 only ever reads it.
-    All reads ([Hashtbl.find_opt] on the by-word tables, interner [get]s
-    through [tables]) are mutation-free, so one result may be consumed
-    concurrently from several domains — the property {!Par_analysis}
-    relies on to shard the word space without copying the records. *)
+    All reads (array indexing, interner [get]s through [tables]) are
+    mutation-free, so one result may be consumed concurrently from several
+    domains — the property {!Par_analysis} relies on to shard the slot
+    space without copying the records. *)
 
 val collect :
   ?irh:bool ->
   ?timestamps:bool ->
   ?eadr:bool ->
+  ?dedup:[ `Packed | `Tuple ] ->
   ?stop:(unit -> bool) ->
   Trace.Tracebuf.t ->
   result
@@ -61,11 +77,23 @@ val collect :
     misses release-and-reacquire races. [eadr] (default [false]) analyses
     the trace under the §2.1 eADR assumption — the cache is persistent, so
     visible-but-not-durable windows cannot exist and no store records are
-    produced (persistency-induced races are impossible by construction). *)
+    produced (persistency-induced races are impossible by construction).
+    [dedup] (default [`Packed]) selects the dedup-key implementation:
+    [`Packed] packs each key into one int ({!Trace.Packed_key}; keys whose
+    fields exceed a packed field width spill to the tuple-keyed tables —
+    never a silent collision); [`Tuple] forces every key through the
+    tuple-keyed reference path. Both must produce identical results — the
+    differential property the packed-key test suite checks. *)
 
 val sorted_load_words : result -> int array
-(** The canonical word keys of [loads_by_word] in ascending order — the
-    deterministic iteration (and sharding) domain of stage 3. Words with
-    load records but no windows are included; the analysis skips them. *)
+(** The word keys of the slots, ascending — [words.(slots.(i))] for each
+    [i]. Kept for presentation layers that report the analysed words. *)
+
+val all_windows : result -> Access.window list
+(** Every window record, words ascending, newest-first within a word —
+    for baselines and tests that scan the whole record set. *)
+
+val all_loads : result -> Access.load list
+(** Every load record, in the same order as {!all_windows}. *)
 
 val pp_stats : Format.formatter -> stats -> unit

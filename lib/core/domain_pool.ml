@@ -1,0 +1,140 @@
+(* A small pool of persistent worker domains.
+
+   [Domain.spawn] costs a thread, a minor heap and a handshake with every
+   running domain — milliseconds that PR 2 paid on every [analyse] call
+   and that dwarfed the sharded work itself on short runs. The pool
+   spawns each worker once and hands tasks over a mutex/condition pair;
+   per-[map] cost is two lock transitions per worker instead of a spawn
+   and a join.
+
+   Task [i] always runs on the same slot — [0] on the caller, [i] on
+   worker [i - 1] — so slot-indexed state owned by the callers (e.g.
+   {!Par_analysis}'s warm memo tables) is only ever touched by one domain
+   per call, without the pool knowing about it. *)
+
+type worker = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable task : (unit -> unit) option;
+  mutable busy : bool;
+  mutable stop : bool;
+  mutable domain : unit Domain.t option; (* set right after spawn *)
+}
+
+type t = { lock : Mutex.t; mutable workers : worker array }
+
+let worker_loop w () =
+  Mutex.lock w.mutex;
+  let rec loop () =
+    match w.task with
+    | Some f ->
+        w.task <- None;
+        Mutex.unlock w.mutex;
+        (* The task itself never raises: [map] wraps it in a catch-all
+           that stores the outcome. *)
+        f ();
+        Mutex.lock w.mutex;
+        w.busy <- false;
+        Condition.broadcast w.cond;
+        loop ()
+    | None ->
+        if w.stop then Mutex.unlock w.mutex
+        else begin
+          Condition.wait w.cond w.mutex;
+          loop ()
+        end
+  in
+  loop ()
+
+let spawn_worker () =
+  let w =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      task = None;
+      busy = false;
+      stop = false;
+      domain = None;
+    }
+  in
+  w.domain <- Some (Domain.spawn (worker_loop w));
+  w
+
+let submit w f =
+  Mutex.lock w.mutex;
+  w.task <- Some f;
+  w.busy <- true;
+  Condition.broadcast w.cond;
+  Mutex.unlock w.mutex
+
+let await w =
+  Mutex.lock w.mutex;
+  while w.busy do
+    Condition.wait w.cond w.mutex
+  done;
+  Mutex.unlock w.mutex
+
+let create () = { lock = Mutex.create (); workers = [||] }
+
+let size t = Array.length t.workers
+
+let ensure t n =
+  Mutex.lock t.lock;
+  let have = Array.length t.workers in
+  if n > have then begin
+    let ws = Array.init n (fun i -> if i < have then t.workers.(i) else spawn_worker ()) in
+    t.workers <- ws
+  end;
+  Mutex.unlock t.lock
+
+let map t fns =
+  let n = Array.length fns in
+  if n = 0 then [||]
+  else begin
+    (* Serialise whole [map] calls: workers hold no per-call state, so
+       two concurrent callers would otherwise interleave submissions. *)
+    Mutex.lock t.lock;
+    let have = Array.length t.workers in
+    if n - 1 > have then begin
+      t.workers <-
+        Array.init (n - 1) (fun i ->
+            if i < have then t.workers.(i) else spawn_worker ())
+    end;
+    let results = Array.make n (Error Not_found) in
+    let run i () =
+      results.(i) <- (try Ok (fns.(i) ()) with e -> Error e)
+    in
+    for i = 1 to n - 1 do
+      submit t.workers.(i - 1) (run i)
+    done;
+    (* Task 0 runs here: a 1-task map never touches a worker, and the
+       caller's domain contributes instead of idling on the join. *)
+    run 0 ();
+    for i = 1 to n - 1 do
+      await t.workers.(i - 1)
+    done;
+    Mutex.unlock t.lock;
+    results
+  end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let ws = t.workers in
+  t.workers <- [||];
+  Mutex.unlock t.lock;
+  Array.iter
+    (fun w ->
+      Mutex.lock w.mutex;
+      w.stop <- true;
+      Condition.broadcast w.cond;
+      Mutex.unlock w.mutex)
+    ws;
+  Array.iter
+    (fun w -> match w.domain with Some d -> Domain.join d | None -> ())
+    ws
+
+(* The process-wide pool. Shut down on exit so the runtime does not abort
+   on still-running domains. *)
+let global_pool = lazy (let t = create () in at_exit (fun () -> shutdown t); t)
+
+let global () = Lazy.force global_pool

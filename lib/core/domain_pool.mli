@@ -1,0 +1,40 @@
+(** A pool of persistent worker domains.
+
+    [Domain.spawn] costs a thread, a minor heap and a handshake with
+    every running domain — milliseconds that a per-call spawn pays on
+    every parallel analysis and that dwarf the sharded work itself on
+    short runs. The pool spawns each worker once; a {!map} call costs
+    two lock transitions per worker.
+
+    Determinism contract: [map fns] runs [fns.(0)] on the calling domain
+    and [fns.(i)] on worker [i - 1] — a stable task-to-domain mapping, so
+    slot-indexed state owned by the caller (e.g. {!Par_analysis}'s warm
+    per-shard memo tables) is touched by exactly one domain per call. *)
+
+type t
+
+val create : unit -> t
+(** A pool with no workers; they are spawned by {!ensure} or on demand by
+    {!map}. *)
+
+val global : unit -> t
+(** The process-wide pool, shut down automatically at exit. *)
+
+val size : t -> int
+(** Workers currently spawned. *)
+
+val ensure : t -> int -> unit
+(** [ensure t n] grows the pool to at least [n] workers. Call it outside
+    timed regions to keep the one-time spawn cost out of them. *)
+
+val map : t -> (unit -> 'a) array -> ('a, exn) result array
+(** [map t fns] runs every [fns.(i)] concurrently (task 0 on the calling
+    domain) and returns their outcomes in order; an exception is captured
+    as [Error] for that task only. Grows the pool if it has fewer than
+    [length fns - 1] workers. Concurrent [map] calls from different
+    domains are serialised — the pool's workers are a shared resource,
+    not a scheduler. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker. The pool is reusable afterwards (workers
+    respawn on demand), but in-flight [map] calls must have returned. *)

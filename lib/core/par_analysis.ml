@@ -1,7 +1,13 @@
-(* Domain-parallel stage 3: contiguous word-range sharding over the
+(* Domain-parallel stage 3: contiguous slot-range sharding over the
    Analysis.Kernel, with a deterministic in-order merge. See the .mli for
    the determinism argument; the load balancing below only moves shard
-   boundaries, which the merge makes invisible in the result. *)
+   boundaries, which the merge makes invisible in the result.
+
+   Shards run on the persistent {!Domain_pool} rather than on freshly
+   spawned domains, and each shard slot keeps its memo tables between
+   [analyse] calls ([K.reset_memo] empties them without shrinking), so a
+   repeated parallel analysis probes warm pre-grown arrays and pays no
+   spawn cost. *)
 
 module K = Analysis.Kernel
 
@@ -21,17 +27,16 @@ type shard_result = {
   sr_analysed : int;
 }
 
-let run_shard ?stop ~features (c : Collector.result) (words : int array) lo hi =
-  let memo = K.make_memo () in
+let run_shard ?stop ~features ~memo (c : Collector.result) lo hi =
   let stats = K.make_stats () in
   let report = ref Report.empty in
   let analysed = ref 0 in
   (try
-     for i = lo to hi - 1 do
+     for slot = lo to hi - 1 do
        (match stop with
        | Some f when f () -> raise Exit
        | Some _ | None -> ());
-       report := K.analyse_word ~features ~memo ~stats c words.(i) !report;
+       report := K.analyse_slot ~features ~memo ~stats c slot !report;
        incr analysed
      done
    with Exit -> ());
@@ -42,36 +47,31 @@ let run_shard ?stop ~features (c : Collector.result) (words : int array) lo hi =
     sr_analysed = !analysed;
   }
 
-(* Contiguous cost-balanced partition: cut after the word whose cumulative
-   estimated cost crosses the next 1/shards-th of the total. Estimated
-   cost of a word = |loads| * |windows| (the pair loop) + 1 (the visit).
-   Returns (lo, hi) index ranges into [words]; some may be empty. *)
-let partition (c : Collector.result) (words : int array) shards =
-  let n = Array.length words in
-  let cost w =
-    let len tbl =
-      match Hashtbl.find_opt tbl w with Some l -> List.length l | None -> 0
-    in
-    1 + (len c.Collector.loads_by_word * len c.Collector.windows_by_word)
-  in
-  let total = Array.fold_left (fun acc w -> acc + cost w) 0 words in
+(* Contiguous cost-balanced partition: cut after the slot whose cumulative
+   estimated cost crosses the next 1/shards-th of the total. Costs are
+   computed once into a flat array (the pair-loop sizes are O(1) array
+   lengths now, but the cut scan still reads each twice).
+   Returns (lo, hi) index ranges into the slot space; some may be empty. *)
+let partition (c : Collector.result) shards =
+  let n = K.slot_count c in
+  let costs = Array.init n (K.slot_cost c) in
+  let total = Array.fold_left ( + ) 0 costs in
   let ranges = ref [] in
   let lo = ref 0 in
   let acc = ref 0 in
   let target k = total * k / shards in
   let k = ref 1 in
-  Array.iteri
-    (fun i w ->
-      acc := !acc + cost w;
-      if !k < shards && !acc >= target !k then begin
-        ranges := (!lo, i + 1) :: !ranges;
-        lo := i + 1;
-        incr k
-      end)
-    words;
+  for i = 0 to n - 1 do
+    acc := !acc + costs.(i);
+    if !k < shards && !acc >= target !k then begin
+      ranges := (!lo, i + 1) :: !ranges;
+      lo := i + 1;
+      incr k
+    end
+  done;
   ranges := (!lo, n) :: !ranges;
   (* Pad with empty trailing ranges if the costs crossed fewer than
-     [shards - 1] boundaries (e.g. one huge word). *)
+     [shards - 1] boundaries (e.g. one huge slot). *)
   let rs = List.rev !ranges in
   rs @ List.init (shards - List.length rs) (fun _ -> (n, n))
 
@@ -84,83 +84,99 @@ let merge_counters shard_results =
      the number of *globally* distinct keys. A key first seen by two
      shards cost each of them a real computation, but sequentially it
      would have been one miss plus hits — publish that. *)
-  let union_size proj =
-    let seen = Hashtbl.create 1024 in
-    List.iter
-      (fun sr ->
-        Hashtbl.iter
-          (fun key _ -> if not (Hashtbl.mem seen key) then Hashtbl.add seen key ())
-          (proj sr.sr_memo))
-      shard_results;
-    Hashtbl.length seen
-  in
+  let memos = List.map (fun sr -> sr.sr_memo) shard_results in
+  let ls_misses, vc_misses = K.union_misses memos in
   let sum proj = List.fold_left (fun acc sr -> acc + proj sr.sr_memo) 0 shard_results in
   K.flush_memo_counters
-    ~ls_lookups:(sum (fun m -> m.K.ls_lookups))
-    ~ls_misses:(union_size (fun m -> m.K.disjoint_memo))
-    ~vc_lookups:(sum (fun m -> m.K.vc_lookups))
-    ~vc_misses:(union_size (fun m -> m.K.leq_memo))
+    ~ls_lookups:(sum K.ls_lookups)
+    ~ls_misses
+    ~vc_lookups:(sum K.vc_lookups)
+    ~vc_misses
 
-let analyse ?(features = Analysis.all_features) ?(jobs = 1) ?stop
+(* Warm per-shard-slot memo tables, reused across [analyse] calls. The
+   pool's stable task-to-domain mapping means slot [i]'s memo is only
+   ever probed by one domain per call; the checkout protocol below (take
+   the whole set, put it back) keeps a concurrent [analyse] from another
+   domain correct — it just runs with cold tables. *)
+let warm_lock = Mutex.create ()
+let warm_memos : K.memo array ref = ref [||]
+
+let checkout_memos impl shards =
+  Mutex.lock warm_lock;
+  let cached = !warm_memos in
+  warm_memos := [||];
+  Mutex.unlock warm_lock;
+  Array.init shards (fun i ->
+      if i < Array.length cached && K.memo_impl cached.(i) = impl then begin
+        K.reset_memo cached.(i);
+        cached.(i)
+      end
+      else K.make_memo ~impl ())
+
+let checkin_memos memos =
+  Mutex.lock warm_lock;
+  if Array.length memos > Array.length !warm_memos then warm_memos := memos;
+  Mutex.unlock warm_lock
+
+let analyse ?(features = Analysis.all_features) ?(jobs = 1) ?memo_impl ?stop
     ?inject_shard_failure (c : Collector.result) =
-  let words = K.sorted_words c in
-  let shards = min (max 1 jobs) (max 1 (Array.length words)) in
-  if shards <= 1 then Analysis.run ~features ?stop c
+  let shards = min (max 1 jobs) (max 1 (K.slot_count c)) in
+  if shards <= 1 then Analysis.run ~features ?memo_impl ?stop c
   else begin
-    let ranges = partition c words shards in
-    (* A shard's whole body runs inside the guard: any exception — the
-       injected test failure or a real one — becomes [Error] instead of
-       tearing down the joining domain. The injection fires before any
-       work, so a retried shard redoes the full range and merged counters
-       stay bit-identical to a failure-free run. *)
-    let guarded shard_idx lo hi () =
-      try
-        (match inject_shard_failure with
-        | Some f when f shard_idx ->
-            failwith (Printf.sprintf "injected shard failure (shard %d)" shard_idx)
-        | Some _ | None -> ());
-        Ok (run_shard ?stop ~features c words lo hi)
-      with e -> Error e
+    let impl = Option.value ~default:`Packed memo_impl in
+    let ranges = Array.of_list (partition c shards) in
+    let memos = checkout_memos impl shards in
+    (* A shard's whole body runs inside the pool's per-task guard: any
+       exception — the injected test failure or a real one — becomes
+       [Error] instead of tearing down the pool. The injection fires
+       before any work, so a retried shard redoes the full range and
+       merged counters stay bit-identical to a failure-free run. *)
+    let task shard_idx () =
+      (match inject_shard_failure with
+      | Some f when f shard_idx ->
+          failwith
+            (Printf.sprintf "injected shard failure (shard %d)" shard_idx)
+      | Some _ | None -> ());
+      let lo, hi = ranges.(shard_idx) in
+      run_shard ?stop ~features ~memo:memos.(shard_idx) c lo hi
     in
-    (* Spawn every shard but the first; the first runs on this domain so a
-       2-shard analysis costs one spawn. *)
-    let spawned =
-      List.mapi
-        (fun i (lo, hi) -> Domain.spawn (guarded (i + 1) lo hi))
-        (List.tl ranges)
+    (* Shard 0 runs on this domain (the pool's task 0); workers are
+       reused across calls, so a steady-state [analyse] spawns nothing. *)
+    let outcomes =
+      Domain_pool.map (Domain_pool.global ())
+        (Array.init shards (fun i -> task i))
     in
-    let first =
-      let lo, hi = List.hd ranges in
-      guarded 0 lo hi ()
-    in
-    let outcomes = first :: List.map Domain.join spawned in
-    (* Isolate failures: the failed domain's private report and counter
+    (* Isolate failures: the failed shard's private report and counter
        buffer are discarded whole (nothing was flushed), and the range is
-       re-run sequentially right here. Results stay in shard order. *)
+       re-run sequentially right here — on a reset memo, so the retried
+       shard's miss counts are again those of a fresh table. Results stay
+       in shard order. *)
     let shard_results =
-      List.map2
-        (fun (lo, hi) outcome ->
-          match outcome with
-          | Ok sr -> Some sr
-          | Error e -> (
-              Obs.Metric.incr obs_shard_failures;
-              Obs.Logger.warn ~section:"analysis" (fun () ->
-                  Printf.sprintf
-                    "shard [%d,%d) failed (%s); retrying sequentially" lo hi
-                    (Printexc.to_string e));
-              match run_shard ?stop ~features c words lo hi with
-              | sr ->
-                  Obs.Metric.incr obs_shard_retries;
-                  Some sr
-              | exception e2 ->
-                  Obs.Metric.incr obs_shard_skipped;
-                  Obs.Logger.err ~section:"analysis" (fun () ->
-                      Printf.sprintf
-                        "shard [%d,%d) failed again (%s); range skipped" lo hi
-                        (Printexc.to_string e2));
-                  None))
-        ranges outcomes
-      |> List.filter_map Fun.id
+      List.filter_map Fun.id
+        (List.mapi
+           (fun i outcome ->
+             let lo, hi = ranges.(i) in
+             match outcome with
+             | Ok sr -> Some sr
+             | Error e -> (
+                 Obs.Metric.incr obs_shard_failures;
+                 Obs.Logger.warn ~section:"analysis" (fun () ->
+                     Printf.sprintf
+                       "shard [%d,%d) failed (%s); retrying sequentially" lo hi
+                       (Printexc.to_string e));
+                 K.reset_memo memos.(i);
+                 match run_shard ?stop ~features ~memo:memos.(i) c lo hi with
+                 | sr ->
+                     Obs.Metric.incr obs_shard_retries;
+                     Some sr
+                 | exception e2 ->
+                     Obs.Metric.incr obs_shard_skipped;
+                     Obs.Logger.err ~section:"analysis" (fun () ->
+                         Printf.sprintf
+                           "shard [%d,%d) failed again (%s); range skipped" lo
+                           hi (Printexc.to_string e2));
+                     None))
+           (Array.to_list outcomes))
     in
     let report =
       List.fold_left
@@ -174,6 +190,7 @@ let analyse ?(features = Analysis.all_features) ?(jobs = 1) ?stop
       List.fold_left (fun acc sr -> acc + sr.sr_analysed) 0 shard_results
     in
     merge_counters shard_results;
+    checkin_memos memos;
     Obs.Logger.debug ~section:"analysis" (fun () ->
         Printf.sprintf "par analyse: %d shards, %d pairs examined, %d reports"
           shards pairs (Report.count report));
@@ -181,6 +198,6 @@ let analyse ?(features = Analysis.all_features) ?(jobs = 1) ?stop
       Analysis.report;
       pairs;
       words_analysed = analysed;
-      words_total = Array.length words;
+      words_total = K.slot_count c;
     }
   end

@@ -1,21 +1,27 @@
 (** Domain-parallel stage 3.
 
-    Shards the canonical word keys of the collected records across OCaml 5
-    domains and runs the {!Analysis.Kernel} over each shard independently:
-    every domain gets its own memo tables, its own {!Obs.Buffer} of
-    deterministic counters and its own private {!Report.t}, so the hot
-    path touches no shared mutable state (the collector result is
-    read-only, see {!Collector.result}).
+    Shards the slot space (load-bearing words, ascending) of the collected
+    records across OCaml 5 domains and runs the {!Analysis.Kernel} over
+    each shard independently: every shard gets its own memo tables, its
+    own {!Obs.Buffer} of deterministic counters and its own private
+    {!Report.t}, so the hot path touches no shared mutable state (the
+    collector result is read-only, see {!Collector.result}).
+
+    The shards run on the persistent {!Domain_pool} — one spawn per
+    worker per process, not per call — and each shard slot's memo tables
+    are kept and reset between calls, so a steady-state parallel analysis
+    probes warm pre-grown arrays and its per-call overhead is two lock
+    transitions per worker.
 
     {2 Determinism}
 
     The result is {e bit-identical} to {!Analysis.run} for every [jobs]
     value:
 
-    - Words are sorted and partitioned into {e contiguous} ascending
-      ranges, one per shard; each shard visits its words in ascending
-      order, so the global visit order is the concatenation of the shard
-      orders — exactly the sequential order.
+    - Slots are partitioned into {e contiguous} ascending ranges, one per
+      shard; each shard visits its slots in ascending order, so the global
+      visit order is the concatenation of the shard orders — exactly the
+      sequential order.
     - Shard reports are merged in shard order with {!Report.merge}, which
       reproduces the sequential [Report.add] sequence: site pairs appear
       in first-witness order and keep the first witness's fields, with
@@ -24,20 +30,23 @@
       prune and race counts are sums over pairs (shard-independent), and
       the memo hit/miss split is derived from total lookups and the union
       of the per-shard key sets — the values one shared memo table would
-      have produced. Per-domain buffers are flushed into
-      {!Obs.Registry.global} only after every domain has joined.
+      have produced. Warm memo reuse cannot perturb this: tables are
+      emptied (capacity kept) before every call. Per-domain buffers are
+      flushed into {!Obs.Registry.global} only after every shard has
+      finished.
 
     [jobs = 1] (the default) bypasses sharding entirely and is exactly
     {!Analysis.run}.
 
     {2 Failure isolation}
 
-    A domain that raises no longer poisons the run: its private report and
+    A shard that raises no longer poisons the run: its private report and
     counter buffer are discarded whole (nothing had been flushed), the
-    failure is counted in [analysis.shard_failures], and the shard's word
-    range is re-run sequentially on the joining domain
-    ([analysis.shard_retries]). Only when the retry {e also} raises is the
-    range dropped ([analysis.shard_ranges_skipped]) — visible as
+    failure is counted in [analysis.shard_failures], and the shard's slot
+    range is re-run sequentially on the calling domain
+    ([analysis.shard_retries]) with its memo reset first. Only when the
+    retry {e also} raises is the range dropped
+    ([analysis.shard_ranges_skipped]) — visible as
     [words_analysed < words_total] in the outcome. Because a retried shard
     redoes its full range from scratch, a run with transient failures
     still produces the bit-identical report and counters. All three
@@ -46,16 +55,19 @@
 val analyse :
   ?features:Analysis.features ->
   ?jobs:int ->
+  ?memo_impl:[ `Packed | `Tuple ] ->
   ?stop:(unit -> bool) ->
   ?inject_shard_failure:(int -> bool) ->
   Collector.result ->
   Analysis.outcome
 (** [analyse ~jobs c] runs Algorithm 1 over [c] on [max 1 jobs] domains
-    (capped at the number of words). The returned report and every
+    (capped at the number of slots). The returned report and every
     deterministic counter published to {!Obs.Registry.global} are
     identical to the sequential {!Analysis.run} for any [jobs].
 
-    [stop] is polled at word boundaries on every shard (deadline
+    [memo_impl] selects the memo-key implementation (see
+    {!Analysis.Kernel.memo}); outcomes are identical for both.
+    [stop] is polled at slot boundaries on every shard (deadline
     degradation; a truncated parallel report is {e not} guaranteed
     identical to a truncated sequential one — see DESIGN).
     [inject_shard_failure] is a test hook: shard indices (0-based, in

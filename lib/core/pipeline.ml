@@ -88,6 +88,9 @@ let run ?(config = default) trace =
         Trace.Tracebuf.prefix trace budget
     | Some _ | None -> trace
   in
+  (* Warm the domain pool before the timed region: worker spawn is a
+     one-time process cost, not part of any analysis measurement. *)
+  if config.jobs > 1 then Domain_pool.ensure (Domain_pool.global ()) (config.jobs - 1);
   let (collected, outcome), (collect_s, analyse_s) =
     Obs.Registry.with_span "pipeline" (fun () ->
         let collected, collect_s =

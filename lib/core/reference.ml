@@ -1,6 +1,3 @@
-let all_of tbl =
-  Hashtbl.fold (fun _ records acc -> records @ acc) tbl []
-
 (* Records are registered once per touched word; deduplicate by unique id
    so each logical record is considered once. *)
 let unique_by key records =
@@ -20,12 +17,12 @@ let analyse (c : Collector.result) =
   let stores =
     unique_by
       (fun (w : Access.window) -> w.Access.w_id)
-      (all_of c.Collector.windows_by_word)
+      (Collector.all_windows c)
   in
   let loads =
     unique_by
       (fun (l : Access.load) -> l.Access.l_id)
-      (all_of c.Collector.loads_by_word)
+      (Collector.all_loads c)
   in
   let vec id = Access.Vc_table.get tables.Access.vc id in
   let ls id = Access.Ls_table.get tables.Access.ls id in

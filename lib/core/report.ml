@@ -12,9 +12,15 @@ type t = race list
 
 let empty = []
 
+(* Same "file:line" identity as {!Trace.Site.location} equality, compared
+   field-wise: [add] runs once per race witness, and building the two
+   location strings per comparison dominated its cost. *)
+let same_site (a : Trace.Site.t) (b : Trace.Site.t) =
+  a.Trace.Site.line = b.Trace.Site.line
+  && String.equal a.Trace.Site.file b.Trace.Site.file
+
 let same_pair r ~store_site ~load_site =
-  String.equal (Trace.Site.location r.store_site) (Trace.Site.location store_site)
-  && String.equal (Trace.Site.location r.load_site) (Trace.Site.location load_site)
+  same_site r.store_site store_site && same_site r.load_site load_site
 
 let add t ~store_site ~load_site ~store_tid ~load_tid ~addr ~window_end =
   let rec go acc = function

@@ -291,15 +291,13 @@ let maybe_delay ctx st =
 
 let record_store_words ctx ~addr ~size ~site:st =
   if ctx.m.observe then
-    List.iter
-      (fun w -> Hashtbl.replace ctx.m.last_store w (tid ctx, st))
-      (Pmem.Layout.words_of_range addr size)
+    Pmem.Layout.iter_words addr size (fun w ->
+        Hashtbl.replace ctx.m.last_store w (tid ctx, st))
 
 let check_observation ctx ~addr ~size ~site:load_site =
   if ctx.m.observe then
     let me = tid ctx in
-    List.iter
-      (fun w ->
+    Pmem.Layout.iter_words addr size (fun w ->
         match Hashtbl.find_opt ctx.m.last_store w with
         | Some (writer, store_site) when not (Trace.Tid.equal writer me) ->
             if
@@ -323,7 +321,6 @@ let check_observation ctx ~addr ~size ~site:load_site =
               end
             end
         | Some _ | None -> ())
-      (Pmem.Layout.words_of_range addr size)
 
 let do_store ctx p addr size ~non_temporal write =
   check_crash ctx.m;

@@ -16,5 +16,23 @@ let lines_of_range addr size =
 
 let words_of_range addr size = range_of ~unit_size:word_size addr size
 
+(* Non-allocating traversals of the same word range: the collector's
+   per-event hot paths call these instead of materialising a list. *)
+let iter_words addr size f =
+  if size > 0 then
+    for w = addr / word_size to (addr + size - 1) / word_size do
+      f w
+    done
+
+let fold_words addr size init f =
+  if size <= 0 then init
+  else begin
+    let acc = ref init in
+    for w = addr / word_size to (addr + size - 1) / word_size do
+      acc := f !acc w
+    done;
+    !acc
+  end
+
 let ranges_overlap a1 s1 a2 s2 =
   s1 > 0 && s2 > 0 && a1 < a2 + s2 && a2 < a1 + s1

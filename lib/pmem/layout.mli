@@ -28,6 +28,14 @@ val words_of_range : int -> int -> int list
 (** [words_of_range addr size] lists the word indexes touched by the byte
     range; used by the IRH and by address matching. *)
 
+val iter_words : int -> int -> (int -> unit) -> unit
+(** [iter_words addr size f] applies [f] to each word index of
+    [words_of_range addr size], ascending, without allocating the list —
+    the per-event traversal of the collector and the scheduler. *)
+
+val fold_words : int -> int -> 'a -> ('a -> int -> 'a) -> 'a
+(** Non-allocating fold over the same ascending word range. *)
+
 val ranges_overlap : int -> int -> int -> int -> bool
 (** [ranges_overlap a1 s1 a2 s2] is [true] when the byte ranges
     [a1, a1+s1) and [a2, a2+s2) intersect. Partial overlaps count: the

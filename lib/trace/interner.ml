@@ -10,10 +10,13 @@ module Make (H : Hashtbl.HashedType) = struct
   let create ?(size = 64) () =
     { ids = Tbl.create size; values = [||]; count = 0 }
 
+  (* [Tbl.find] + exception instead of [find_opt]: the hit path (the
+     overwhelmingly common one — collection interns per event, values
+     repeat per thread) allocates nothing. *)
   let intern t v =
-    match Tbl.find_opt t.ids v with
-    | Some id -> id
-    | None ->
+    match Tbl.find t.ids v with
+    | id -> id
+    | exception Not_found ->
         let id = t.count in
         Tbl.add t.ids v id;
         let cap = Array.length t.values in

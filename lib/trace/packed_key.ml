@@ -1,0 +1,59 @@
+(* Packed single-int keys over interned ids.
+
+   Deduplication and memoisation tables used to key on OCaml tuples of
+   small ints, paying one tuple allocation plus a polymorphic-hash
+   traversal per probe. All the fields involved are either interner ids
+   (dense, starting at 0), thread ids, or tiny tags, so a whole key fits
+   in one immediate int — hashable and comparable without touching the
+   heap. The packers below never produce a colliding key silently: a
+   field that exceeds its bit budget makes the packer return [unfit]
+   (callers fall back to the tuple-keyed spill path), and [pair] raises.
+   Widths are exported so the boundary behaviour is testable. *)
+
+let unfit = -1
+
+(* Field widths for the collector's dedup keys. The per-word dedup tables
+   do not include the word itself (each word cell owns its table), which
+   is what makes the remaining fields fit comfortably in 62 bits. *)
+let tid_bits = 9 (* threads *)
+let site_bits = 17 (* distinct static program locations *)
+let ls_bits = 9 (* distinct (stripped) locksets *)
+let vc_bits = 12 (* distinct vector clocks *)
+let kind_bits = 3 (* window end kinds, 0..4 *)
+
+(* Logical shift: any negative [v] keeps high bits set and fails too. *)
+let fits v bits = v lsr bits = 0
+
+(* (tid, site, eff lockset, store vclock, end vclock + 1, end kind):
+   9 + 17 + 9 + 12 + 12 + 3 = 62 bits. [evec] is the end-vector id plus
+   one so that "no end vector" (-1) packs as 0. *)
+let window_key ~tid ~site ~eff ~vec ~evec ~kind =
+  if
+    fits tid tid_bits && fits site site_bits && fits eff ls_bits
+    && fits vec vc_bits && fits evec vc_bits && fits kind kind_bits
+  then
+    ((((((((tid lsl site_bits) lor site) lsl ls_bits) lor eff) lsl vc_bits)
+       lor vec)
+      lsl vc_bits)
+     lor evec)
+    lsl kind_bits
+    lor kind
+  else unfit
+
+(* (tid, site, lockset, vclock): 9 + 17 + 9 + 12 = 47 bits. *)
+let load_key ~tid ~site ~ls ~vec =
+  if fits tid tid_bits && fits site site_bits && fits ls ls_bits
+     && fits vec vc_bits
+  then ((((tid lsl site_bits) lor site) lsl ls_bits) lor ls) lsl vc_bits lor vec
+  else unfit
+
+(* Lossless pair packing at 31 bits per component — the memo-table keys.
+   Interner ids are dense, so 2^31 distinct values is unreachable (the
+   interned values themselves would not fit in memory first); the check
+   turns the impossible case into a loud error instead of a collision. *)
+let pair_bits = 31
+let pair_max = (1 lsl pair_bits) - 1
+
+let pair a b =
+  if fits a pair_bits && fits b pair_bits then (a lsl pair_bits) lor b
+  else invalid_arg "Packed_key.pair: component exceeds 31 bits"

@@ -1,0 +1,41 @@
+(** Packed single-int keys over interned ids.
+
+    Replaces tuple keys (one allocation + a polymorphic hash traversal
+    per table probe) with immediate ints in the collector's dedup tables
+    and the analysis memo tables. Packing is collision-free by
+    construction: each field gets a fixed bit budget, and a field that
+    does not fit makes the packer return {!unfit} — callers must then
+    fall back to a tuple-keyed spill table, never truncate. *)
+
+val unfit : int
+(** Sentinel (-1) returned when a field exceeds its width. Valid packed
+    keys are always non-negative, so the sentinel cannot collide. *)
+
+val tid_bits : int
+val site_bits : int
+val ls_bits : int
+val vc_bits : int
+val kind_bits : int
+(** Field widths, exported for the boundary property tests. *)
+
+val fits : int -> int -> bool
+(** [fits v bits] is [true] iff [0 <= v < 2^bits]. *)
+
+val window_key :
+  tid:int -> site:int -> eff:int -> vec:int -> evec:int -> kind:int -> int
+(** Packed window-dedup key (the word is implicit: each word cell owns
+    its dedup table). [evec] must be the end-vector id {e plus one} so
+    that "never closed" packs as [0]. Returns {!unfit} when any field is
+    out of range. *)
+
+val load_key : tid:int -> site:int -> ls:int -> vec:int -> int
+(** Packed load-dedup key; {!unfit} when out of range. *)
+
+val pair_bits : int
+val pair_max : int
+
+val pair : int -> int -> int
+(** [pair a b] packs two ids losslessly at 31 bits each (memo-table
+    keys). Raises [Invalid_argument] if a component exceeds 31 bits —
+    unreachable for dense interner ids, but checked so an overflow can
+    never silently collide. *)

@@ -1,0 +1,32 @@
+(* Growable arrays: the allocation-light replacement for the collector's
+   cons-list accumulation (one cell per record) and rebuild-on-replace
+   Hashtbl chains. Push is amortised O(1) and allocates only on growth. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length t = t.len
+
+let push t v =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let data = Array.make (max 4 (2 * cap)) v in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let clear t = t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+(* Newest-first, matching the order of the cons lists this replaces. *)
+let to_reversed_array t = Array.init t.len (fun i -> t.data.(t.len - 1 - i))

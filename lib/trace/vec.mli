@@ -1,0 +1,18 @@
+(** Growable arrays (amortised O(1) push, allocation only on growth). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+
+val clear : 'a t -> unit
+(** Resets the length; capacity (and element references up to it) are
+    retained for reuse. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val to_reversed_array : 'a t -> 'a array
+(** The elements newest-first — the iteration order of the cons lists
+    this type replaces in the collector. *)

@@ -262,7 +262,7 @@ module Collector_tests = struct
         ]
     in
     let all =
-      Hashtbl.fold (fun _ ws acc -> ws @ acc) r.Hawkset.Collector.windows_by_word []
+      Hawkset.Collector.all_windows r
     in
     Alcotest.(check int) "two windows" 2 (List.length all);
     let kinds =
@@ -277,7 +277,7 @@ module Collector_tests = struct
   let overwrite_closes_window () =
     let r = collect ~irh:false [ store ~line:1 128; store ~line:2 128 ] in
     let all =
-      Hashtbl.fold (fun _ ws acc -> ws @ acc) r.Hawkset.Collector.windows_by_word []
+      Hawkset.Collector.all_windows r
     in
     let kinds = List.map (fun w -> w.Hawkset.Access.w_end) all in
     Alcotest.(check bool) "one overwritten, one open" true
@@ -297,7 +297,7 @@ module Collector_tests = struct
         ]
     in
     let all =
-      Hashtbl.fold (fun _ ws acc -> ws @ acc) r.Hawkset.Collector.windows_by_word []
+      Hawkset.Collector.all_windows r
     in
     match all with
     | [ w ] ->
@@ -316,7 +316,7 @@ module Collector_tests = struct
        flush (worst-case cache). Its window stays open. *)
     let r = collect ~irh:false [ flush 128; store ~line:1 128; fence () ] in
     let all =
-      Hashtbl.fold (fun _ ws acc -> ws @ acc) r.Hawkset.Collector.windows_by_word []
+      Hawkset.Collector.all_windows r
     in
     match all with
     | [ w ] ->

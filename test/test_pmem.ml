@@ -28,6 +28,29 @@ module Layout_tests = struct
     Alcotest.(check (list int)) "straddle" [ 0; 1 ]
       (Pmem.Layout.words_of_range 4 8)
 
+  let iter_words_cases () =
+    let collect addr size =
+      let acc = ref [] in
+      Pmem.Layout.iter_words addr size (fun w -> acc := w :: !acc);
+      List.rev !acc
+    in
+    Alcotest.(check (list int)) "one word" [ 2 ] (collect 16 8);
+    Alcotest.(check (list int)) "straddle" [ 0; 1 ] (collect 4 8);
+    Alcotest.(check (list int)) "empty" [] (collect 10 0);
+    Alcotest.(check int) "fold count" 2
+      (Pmem.Layout.fold_words 4 8 0 (fun n _ -> n + 1));
+    Alcotest.(check int) "fold empty" 7
+      (Pmem.Layout.fold_words 10 0 7 (fun n _ -> n + 1))
+
+  let iter_words_matches_list =
+    QCheck.Test.make ~name:"iter_words = words_of_range" ~count:500
+      QCheck.(pair small_nat small_nat)
+      (fun (addr, size) ->
+        let acc = ref [] in
+        Pmem.Layout.iter_words addr size (fun w -> acc := w :: !acc);
+        List.rev !acc = Pmem.Layout.words_of_range addr size
+        && Pmem.Layout.fold_words addr size [] (fun l w -> w :: l) = !acc)
+
   let overlap () =
     Alcotest.(check bool) "disjoint" false
       (Pmem.Layout.ranges_overlap 0 8 8 8);
@@ -50,6 +73,8 @@ module Layout_tests = struct
       Alcotest.test_case "line_of" `Quick line_of;
       Alcotest.test_case "lines_of_range" `Quick lines_of_range;
       Alcotest.test_case "words_of_range" `Quick words_of_range;
+      Alcotest.test_case "iter_words" `Quick iter_words_cases;
+      QCheck_alcotest.to_alcotest iter_words_matches_list;
       Alcotest.test_case "ranges_overlap" `Quick overlap;
       QCheck_alcotest.to_alcotest overlap_symmetric;
     ]
