@@ -311,6 +311,50 @@ let perf_smoke ~full =
       "perf-smoke FAIL: jobs=4 analyse %.4fs > 1.2x sequential %.4fs\n"
       par_p.pp_analyse_s seq_p.pp_analyse_s;
     exit 1
+  end;
+  (* Timeline overhead gate: the instrumentation must add <= 2% to the
+     4000-op pipeline. We compare recording *enabled* against disabled —
+     a strictly stronger bound than the no-`--trace-out` claim, since the
+     disabled path (one atomic load per stage-granularity site) is a
+     subset of the enabled one. Each round times an off run and an on run
+     back to back and keeps their *difference*: adjacent runs see the
+     same load phase of a shared runner, so drift cancels pairwise where
+     a best-of comparison of two separate batches does not. The median
+     difference then gates against 2% of the median off time, with a
+     10ms floor for timer noise on runs this short. *)
+  let tl_ops = if full then 100_000 else 4_000 in
+  let tl_trace = fast_fair_trace tl_ops 42 in
+  let timed_round enabled =
+    Obs.Timeline.reset ();
+    Obs.Timeline.set_enabled enabled;
+    let r = Hawkset.Pipeline.run tl_trace in
+    r.Hawkset.Pipeline.analysis_seconds
+  in
+  let offs = Array.init rounds (fun _ -> 0.) in
+  let deltas = Array.init rounds (fun _ -> 0.) in
+  for i = 0 to rounds - 1 do
+    let off = timed_round false in
+    let on = timed_round true in
+    offs.(i) <- off;
+    deltas.(i) <- on -. off
+  done;
+  Obs.Timeline.set_enabled false;
+  Obs.Timeline.reset ();
+  let median a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let med_off = median offs and med_delta = median deltas in
+  Printf.printf
+    "fast-fair/%d: pipeline timeline-off %.4fs, median on-off delta %+.4fs \
+     (bound 2%% + 10ms)\n"
+    tl_ops med_off med_delta;
+  if med_delta > (med_off *. 0.02) +. 0.01 then begin
+    Printf.eprintf
+      "perf-smoke FAIL: timeline recording adds %.4fs > 2%% of %.4fs + 10ms\n"
+      med_delta med_off;
+    exit 1
   end
 
 (* ---- crash sweep (the `crash-sweep` target) ----

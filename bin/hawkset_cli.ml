@@ -136,6 +136,49 @@ let setup_logging verbose log_level =
 
 let logging_term = Term.(const setup_logging $ verbose_arg $ log_level_arg)
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome-trace-event timeline (loadable in Perfetto or \
+           chrome://tracing) to $(docv): one lane per analysis domain, \
+           pipeline stages as nested duration events, instants for \
+           truncations, shard failures and crash points. Off by default — \
+           recording costs nothing when this flag is absent.")
+
+(* Timeline capture brackets a whole subcommand: cleared and enabled up
+   front (only when requested), drained into the trace file and into
+   gauge-quarantined per-stage duration stats at the end. *)
+let start_timeline trace_out =
+  if trace_out <> None then begin
+    Obs.Timeline.reset ();
+    Obs.Timeline.set_enabled true
+  end
+
+let finish_timeline trace_out manifest =
+  match trace_out with
+  | None -> manifest
+  | Some file -> (
+      Obs.Timeline.set_enabled false;
+      try
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Obs.Timeline.to_chrome_json ()));
+        Format.printf "wrote timeline trace to %s@." file;
+        {
+          manifest with
+          Obs.Manifest.gauges =
+            List.sort
+              (fun (a, _) (b, _) -> String.compare a b)
+              (manifest.Obs.Manifest.gauges @ Obs.Timeline.duration_gauges ());
+        }
+      with Sys_error msg ->
+        Format.eprintf "cannot write timeline trace: %s@." msg;
+        exit 1)
+
 let emit_stats ~stats ~stats_json manifest =
   if stats then print_string (Harness.Stats.render manifest);
   match stats_json with
@@ -160,12 +203,14 @@ let classify_races entry races =
     (Hawkset.Report.sorted races)
 
 let run_cmd =
-  let run () app ops seed detector no_irh eadr jobs json stats stats_json =
+  let run () app ops seed detector no_irh eadr jobs json stats stats_json
+      trace_out =
     match Pmapps.Registry.find app with
     | None ->
         Format.eprintf "unknown application %S (try list-apps)@." app;
         exit 1
     | Some entry -> (
+        start_timeline trace_out;
         let ops = Pmapps.Registry.clamp_ops entry ops in
         let labels detector =
           Harness.Stats.base_labels ~app:entry.Pmapps.Registry.reg_name
@@ -195,13 +240,14 @@ let run_cmd =
                   o.Machine.Sched.obs_load_site)
               report.Machine.Sched.observations;
             emit_stats ~stats ~stats_json
-              (Obs.Manifest.of_registry ~labels:(labels "pmrace")
-                 ~extra_gauges:
-                   [
-                     ("peak_live_mb", peak_mb);
-                     ("final_live_mb", Harness.Metrics.final_live_mb ());
-                   ]
-                 Obs.Registry.global)
+              (finish_timeline trace_out
+                 (Obs.Manifest.of_registry ~labels:(labels "pmrace")
+                    ~extra_gauges:
+                      [
+                        ("peak_live_mb", peak_mb);
+                        ("final_live_mb", Harness.Metrics.final_live_mb ());
+                      ]
+                    Obs.Registry.global))
         | `Hawkset ->
             let config =
               { Hawkset.Pipeline.default with irh = not no_irh; eadr; jobs }
@@ -216,7 +262,8 @@ let run_cmd =
                 (Hawkset.Report.count races);
               classify_races entry races
             end;
-            emit_stats ~stats ~stats_json r.Harness.Stats.manifest
+            emit_stats ~stats ~stats_json
+              (finish_timeline trace_out r.Harness.Stats.manifest)
         | `Eraser ->
             Obs.Registry.reset Obs.Registry.global;
             let (report, races), peak_mb =
@@ -241,19 +288,20 @@ let run_cmd =
               classify_races entry races
             end;
             emit_stats ~stats ~stats_json
-              (Obs.Manifest.of_registry ~labels:(labels "eraser")
-                 ~extra_gauges:
-                   [
-                     ("peak_live_mb", peak_mb);
-                     ("final_live_mb", Harness.Metrics.final_live_mb ());
-                   ]
-                 Obs.Registry.global))
+              (finish_timeline trace_out
+                 (Obs.Manifest.of_registry ~labels:(labels "eraser")
+                    ~extra_gauges:
+                      [
+                        ("peak_live_mb", peak_mb);
+                        ("final_live_mb", Harness.Metrics.final_live_mb ());
+                      ]
+                    Obs.Registry.global)))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one application under a detector.")
     Term.(const run $ logging_term $ app_arg $ ops_arg 1000 $ seed_arg
           $ detector_arg $ no_irh_arg $ eadr_arg $ jobs_arg $ json_arg
-          $ stats_arg $ stats_json_arg)
+          $ stats_arg $ stats_json_arg $ trace_out_arg)
 
 let list_cmd =
   let list () =
@@ -302,7 +350,9 @@ let trace_cmd =
     Term.(const go $ app_arg $ ops_arg 1000 $ seed_arg $ out)
 
 let analyze_cmd =
-  let go () file tolerant no_irh eadr jobs eraser json stats stats_json =
+  let go () file tolerant no_irh eadr jobs eraser json stats stats_json
+      trace_out =
+    start_timeline trace_out;
     let trace =
       if not tolerant then load_trace file
       else begin
@@ -370,7 +420,7 @@ let analyze_cmd =
         (Trace.Tracebuf.stats trace);
       Format.printf "%a@." Hawkset.Report.pp races
     end;
-    emit_stats ~stats ~stats_json manifest
+    emit_stats ~stats ~stats_json (finish_timeline trace_out manifest)
   in
   let file =
     Arg.(
@@ -404,7 +454,47 @@ let analyze_cmd =
        ~doc:
          "Analyse a saved trace — the application-agnostic offline workflow:           the analyser knows nothing about what produced the events.")
     Term.(const go $ logging_term $ file $ tolerant $ no_irh_arg $ eadr
-          $ jobs_arg $ eraser $ json_arg $ stats_arg $ stats_json_arg)
+          $ jobs_arg $ eraser $ json_arg $ stats_arg $ stats_json_arg
+          $ trace_out_arg)
+
+let explain_cmd =
+  let go () app ops seed no_irh eadr jobs json =
+    match Pmapps.Registry.find app with
+    | None ->
+        Format.eprintf "unknown application %S (try list-apps)@." app;
+        exit 1
+    | Some entry ->
+        let ops = Pmapps.Registry.clamp_ops entry ops in
+        let report = entry.Pmapps.Registry.run ~seed ~ops () in
+        let config =
+          { Hawkset.Pipeline.default with irh = not no_irh; eadr; jobs }
+        in
+        let races =
+          Hawkset.Pipeline.races ~config report.Machine.Sched.trace
+        in
+        if json then print_endline (Hawkset.Report.to_json races)
+        else begin
+          Format.printf "%d race report%s@.@." (Hawkset.Report.count races)
+            (if Hawkset.Report.count races = 1 then "" else "s");
+          List.iter
+            (fun (race : Hawkset.Report.race) ->
+              Format.printf "%a@." Hawkset.Report.pp_race race;
+              (match race.Hawkset.Report.witness with
+              | Some w -> Format.printf "%a@." Hawkset.Report.pp_witness w
+              | None -> Format.printf "(no witness recorded)@.");
+              Format.printf "@.")
+            (Hawkset.Report.sorted races)
+        end
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run the detector and print each report's provenance: the \
+          witnessing store/load sites with their locksets (store, \
+          effective, load) and vector clocks (store, window end, load) — \
+          the exact evidence the analysis used to flag the pair.")
+    Term.(const go $ logging_term $ app_arg $ ops_arg 1000 $ seed_arg
+          $ no_irh_arg $ eadr_arg $ jobs_arg $ json_arg)
 
 let bugs_cmd =
   let go () =
@@ -476,7 +566,8 @@ let figure6_cmd =
 
 let crash_sweep_cmd =
   let go () apps seed ops threads stride max_points no_fences no_attribute
-      verify_budget details stats stats_json =
+      verify_budget details stats stats_json trace_out =
+    start_timeline trace_out;
     let config =
       {
         Crashtest.c_seed = seed;
@@ -499,7 +590,8 @@ let crash_sweep_cmd =
       List.iter
         (fun row -> print_string (Harness.Crash_sweep.details_string row))
         rows;
-    emit_stats ~stats ~stats_json (Harness.Crash_sweep.manifest_of_sweeps rows)
+    emit_stats ~stats ~stats_json
+      (finish_timeline trace_out (Harness.Crash_sweep.manifest_of_sweeps rows))
   in
   let apps =
     Arg.(
@@ -561,7 +653,7 @@ let crash_sweep_cmd =
           what acknowledged work survived.")
     Term.(const go $ logging_term $ apps $ seed_arg $ ops_arg 400 $ threads
           $ stride $ max_points $ no_fences $ no_attribute $ verify_budget
-          $ details $ stats_arg $ stats_json_arg)
+          $ details $ stats_arg $ stats_json_arg $ trace_out_arg)
 
 let ablation_cmd =
   let go ops =
@@ -580,8 +672,9 @@ let () =
   in
   let group =
     Cmd.group info
-      [ run_cmd; list_cmd; bugs_cmd; trace_cmd; analyze_cmd; crash_sweep_cmd;
-        table2_cmd; table3_cmd; table4_cmd; figure6_cmd; ablation_cmd ]
+      [ run_cmd; list_cmd; bugs_cmd; explain_cmd; trace_cmd; analyze_cmd;
+        crash_sweep_cmd; table2_cmd; table3_cmd; table4_cmd; figure6_cmd;
+        ablation_cmd ]
   in
   (* [~catch:false] so damaged inputs reach this handler: a bad trace file
      is an input problem (exit 2, one-line diagnostic), not a crash. *)

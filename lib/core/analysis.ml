@@ -258,8 +258,28 @@ module Kernel = struct
               in
               if disjoint ~tables ~memo store_ls l.Access.l_ls then begin
                 Obs.Buffer.incr stats.s_races;
+                (* Forced only when this pair opens a new report, so the
+                   interning-table resolution is off the per-occurrence
+                   path. *)
+                let witness () =
+                  let locks id =
+                    List.map Trace.Lock_id.to_int
+                      (Lockset.locks (Access.Ls_table.get tables.Access.ls id))
+                  in
+                  let vec id =
+                    Vclock.to_list (Access.Vc_table.get tables.Access.vc id)
+                  in
+                  {
+                    Report.wt_store_locks = locks w.Access.w_store_ls;
+                    wt_eff_locks = locks w.Access.w_eff;
+                    wt_load_locks = locks l.Access.l_ls;
+                    wt_store_vec = vec w.Access.w_store_vec;
+                    wt_end_vec = Option.map vec w.Access.w_end_vec;
+                    wt_load_vec = vec l.Access.l_vec;
+                  }
+                in
                 report :=
-                  Report.add !report ~store_site:w.Access.w_site
+                  Report.add ~witness !report ~store_site:w.Access.w_site
                     ~load_site:l.Access.l_site ~store_tid:w.Access.w_tid
                     ~load_tid:l.Access.l_tid
                     ~addr:(max w.Access.w_addr l.Access.l_addr)
@@ -282,12 +302,15 @@ module Kernel = struct
     Obs.Metric.add obs_vc_memo_hits (vc_lookups - vc_misses)
 end
 
+let tl_seq = Obs.Timeline.name "analysis.sequential"
+
 let run ?(features = all_features) ?memo_impl ?stop (c : Collector.result) =
   let memo = Kernel.make_memo ?impl:memo_impl () in
   let stats = Kernel.make_stats () in
   let nslots = Kernel.slot_count c in
   let report = ref Report.empty in
   let analysed = ref 0 in
+  Obs.Timeline.begin_ tl_seq ~arg:nslots;
   (* Word boundaries are the cancellation points: a deadline never tears a
      word's pair enumeration, so a truncated report is exactly the full
      analysis of the words it did visit. *)
@@ -300,6 +323,7 @@ let run ?(features = all_features) ?memo_impl ?stop (c : Collector.result) =
        incr analysed
      done
    with Exit -> ());
+  Obs.Timeline.end_ tl_seq ~arg:!analysed;
   let pairs = Kernel.pairs stats in
   Obs.Buffer.flush stats.Kernel.buf;
   Kernel.flush_memo_counters

@@ -76,6 +76,29 @@ let await w =
 
 let create () = { lock = Mutex.create (); workers = [||] }
 
+(* Optional per-task wrapper (installed e.g. by the harness to sample
+   pool-domain heap peaks). Receives the task's slot index and a thunk it
+   MUST run exactly once. Monomorphic on [unit -> unit]: [map]'s
+   result-array closure already has that shape. *)
+let task_hook : (int -> (unit -> unit) -> unit) option Atomic.t =
+  Atomic.make None
+
+let set_task_hook h = Atomic.set task_hook h
+
+(* Every task runs with its slot bound to the matching timeline lane —
+   task [i] is always slot [i] (caller or worker [i - 1]), so lane
+   assignment is deterministic. *)
+let run_task i f =
+  Obs.Timeline.with_lane i (fun () ->
+      match Atomic.get task_hook with
+      | None -> f ()
+      | Some h -> (
+          let out = ref None in
+          h i (fun () -> out := Some (f ()));
+          match !out with
+          | Some v -> v
+          | None -> failwith "Domain_pool: task hook dropped its task"))
+
 let size t = Array.length t.workers
 
 let ensure t n =
@@ -102,7 +125,7 @@ let map t fns =
     end;
     let results = Array.make n (Error Not_found) in
     let run i () =
-      results.(i) <- (try Ok (fns.(i) ()) with e -> Error e)
+      results.(i) <- (try Ok (run_task i (fun () -> fns.(i) ())) with e -> Error e)
     in
     for i = 1 to n - 1 do
       submit t.workers.(i - 1) (run i)

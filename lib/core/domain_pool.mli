@@ -33,7 +33,17 @@ val map : t -> (unit -> 'a) array -> ('a, exn) result array
     as [Error] for that task only. Grows the pool if it has fewer than
     [length fns - 1] workers. Concurrent [map] calls from different
     domains are serialised — the pool's workers are a shared resource,
-    not a scheduler. *)
+    not a scheduler.
+
+    Each task runs with {!Obs.Timeline} lane [i] bound (the stable
+    task-to-domain mapping makes lane contents deterministic), wrapped by
+    the installed {!set_task_hook} if any. *)
+
+val set_task_hook : (int -> (unit -> unit) -> unit) option -> unit
+(** Install (or clear, with [None]) a process-wide per-task wrapper. The
+    hook receives the task's slot index and a thunk it must run exactly
+    once; {!map} fails that task if the hook drops the thunk. Used by the
+    harness to sample pool-domain heap peaks around each task. *)
 
 val shutdown : t -> unit
 (** Stop and join every worker. The pool is reusable afterwards (workers

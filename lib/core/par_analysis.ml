@@ -20,6 +20,15 @@ let obs_shard_failures = Obs.Registry.counter "analysis.shard_failures"
 let obs_shard_retries = Obs.Registry.counter "analysis.shard_retries"
 let obs_shard_skipped = Obs.Registry.counter "analysis.shard_ranges_skipped"
 
+(* Timeline events: one begin/end pair per shard on its worker's lane,
+   instants on the caller's lane when a shard fails/retries/is skipped.
+   All on deterministic control paths with shard-index args, so lane
+   signatures stay seed-reproducible. *)
+let tl_shard = Obs.Timeline.name "analysis.shard"
+let tl_shard_failure = Obs.Timeline.name "analysis.shard_failure"
+let tl_shard_retry = Obs.Timeline.name "analysis.shard_retry"
+let tl_shard_skipped = Obs.Timeline.name "analysis.shard_skipped"
+
 type shard_result = {
   sr_report : Report.t;
   sr_memo : K.memo;
@@ -138,7 +147,10 @@ let analyse ?(features = Analysis.all_features) ?(jobs = 1) ?memo_impl ?stop
             (Printf.sprintf "injected shard failure (shard %d)" shard_idx)
       | Some _ | None -> ());
       let lo, hi = ranges.(shard_idx) in
-      run_shard ?stop ~features ~memo:memos.(shard_idx) c lo hi
+      Obs.Timeline.begin_ tl_shard ~arg:shard_idx;
+      Fun.protect
+        ~finally:(fun () -> Obs.Timeline.end_ tl_shard ~arg:shard_idx)
+        (fun () -> run_shard ?stop ~features ~memo:memos.(shard_idx) c lo hi)
     in
     (* Shard 0 runs on this domain (the pool's task 0); workers are
        reused across calls, so a steady-state [analyse] spawns nothing. *)
@@ -160,6 +172,7 @@ let analyse ?(features = Analysis.all_features) ?(jobs = 1) ?memo_impl ?stop
              | Ok sr -> Some sr
              | Error e -> (
                  Obs.Metric.incr obs_shard_failures;
+                 Obs.Timeline.instant tl_shard_failure ~arg:i;
                  Obs.Logger.warn ~section:"analysis" (fun () ->
                      Printf.sprintf
                        "shard [%d,%d) failed (%s); retrying sequentially" lo hi
@@ -168,9 +181,11 @@ let analyse ?(features = Analysis.all_features) ?(jobs = 1) ?memo_impl ?stop
                  match run_shard ?stop ~features ~memo:memos.(i) c lo hi with
                  | sr ->
                      Obs.Metric.incr obs_shard_retries;
+                     Obs.Timeline.instant tl_shard_retry ~arg:i;
                      Some sr
                  | exception e2 ->
                      Obs.Metric.incr obs_shard_skipped;
+                     Obs.Timeline.instant tl_shard_skipped ~arg:i;
                      Obs.Logger.err ~section:"analysis" (fun () ->
                          Printf.sprintf
                            "shard [%d,%d) failed again (%s); range skipped" lo

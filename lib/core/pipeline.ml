@@ -50,12 +50,22 @@ type result = {
 
 let obs_truncations = Obs.Registry.counter "pipeline.truncations"
 
+let tl_pipeline = Obs.Timeline.name "pipeline"
+let tl_truncation = Obs.Timeline.name "pipeline.truncation"
+
 (* One stage: record into the global span aggregate (nested under the
-   enclosing span path) and return this call's own wall-clock seconds. *)
+   enclosing span path), bracket the caller's timeline lane with a
+   duration event, and return this call's own wall-clock seconds. The
+   intern call is two per [run] — nowhere near a hot path. *)
 let staged name f =
-  let t0 = Unix.gettimeofday () in
-  let r = Obs.Registry.with_span name f in
-  (r, Unix.gettimeofday () -. t0)
+  let h = Obs.Timeline.name ("pipeline." ^ name) in
+  Obs.Timeline.begin_ h;
+  Fun.protect
+    ~finally:(fun () -> Obs.Timeline.end_ h)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let r = Obs.Registry.with_span name f in
+      (r, Unix.gettimeofday () -. t0))
 
 (* A [stop] predicate that trips once [deadline_s] wall-clock seconds have
    elapsed from its creation. [None] deadline never trips. *)
@@ -71,6 +81,7 @@ let run ?(config = default) trace =
   let truncated = ref [] in
   let note t =
     Obs.Metric.incr obs_truncations;
+    Obs.Timeline.instant tl_truncation ~arg:t.trunc_done;
     Obs.Logger.warn ~section:"pipeline" (fun () ->
         Printf.sprintf "truncated %s (%s): %d of %d" t.trunc_stage
           t.trunc_reason t.trunc_done t.trunc_total);
@@ -91,7 +102,11 @@ let run ?(config = default) trace =
   (* Warm the domain pool before the timed region: worker spawn is a
      one-time process cost, not part of any analysis measurement. *)
   if config.jobs > 1 then Domain_pool.ensure (Domain_pool.global ()) (config.jobs - 1);
+  Obs.Timeline.begin_ tl_pipeline ~arg:(Trace.Tracebuf.length trace);
   let (collected, outcome), (collect_s, analyse_s) =
+    Fun.protect
+      ~finally:(fun () -> Obs.Timeline.end_ tl_pipeline)
+    @@ fun () ->
     Obs.Registry.with_span "pipeline" (fun () ->
         let collected, collect_s =
           staged "collect" (fun () ->

@@ -48,14 +48,29 @@ let analyse (c : Collector.result) =
           if same_addr && different_tid && concurrent then
             (* line 18: st.effective_set ∩ ld.set = ∅ *)
             if Lockset.disjoint_locks (ls st.Access.w_eff) (ls ld.Access.l_ls)
-            then
+            then begin
               (* line 19: report (st, ld) *)
+              let witness () =
+                let locks id =
+                  List.map Trace.Lock_id.to_int (Lockset.locks (ls id))
+                in
+                let ivec id = Vclock.to_list (vec id) in
+                {
+                  Report.wt_store_locks = locks st.Access.w_store_ls;
+                  wt_eff_locks = locks st.Access.w_eff;
+                  wt_load_locks = locks ld.Access.l_ls;
+                  wt_store_vec = ivec st.Access.w_store_vec;
+                  wt_end_vec = Option.map ivec st.Access.w_end_vec;
+                  wt_load_vec = ivec ld.Access.l_vec;
+                }
+              in
               report :=
-                Report.add !report ~store_site:st.Access.w_site
+                Report.add ~witness !report ~store_site:st.Access.w_site
                   ~load_site:ld.Access.l_site ~store_tid:st.Access.w_tid
                   ~load_tid:ld.Access.l_tid
                   ~addr:(max st.Access.w_addr ld.Access.l_addr)
-                  ~window_end:st.Access.w_end)
+                  ~window_end:st.Access.w_end
+            end)
         loads)
     stores;
   !report

@@ -1,3 +1,15 @@
+(* The evidence behind a report: the locksets and vector clocks of the
+   witnessing (window, load) pair, resolved from the interning tables at
+   report time. Locks are lock ids, clocks per-thread counters. *)
+type witness = {
+  wt_store_locks : int list;
+  wt_eff_locks : int list;
+  wt_load_locks : int list;
+  wt_store_vec : int list;
+  wt_end_vec : int list option;  (* None when the window never closed. *)
+  wt_load_vec : int list;
+}
+
 type race = {
   store_site : Trace.Site.t;
   load_site : Trace.Site.t;
@@ -6,6 +18,7 @@ type race = {
   addr : int;
   window_end : Access.end_kind;
   occurrences : int;
+  witness : witness option;
 }
 
 type t = race list
@@ -22,12 +35,15 @@ let same_site (a : Trace.Site.t) (b : Trace.Site.t) =
 let same_pair r ~store_site ~load_site =
   same_site r.store_site store_site && same_site r.load_site load_site
 
-let add t ~store_site ~load_site ~store_tid ~load_tid ~addr ~window_end =
+let add ?witness t ~store_site ~load_site ~store_tid ~load_tid ~addr
+    ~window_end =
   let rec go acc = function
     | [] ->
+        (* The thunk is forced only for the first witnessing pair of a
+           site pair — later occurrences merge without resolving it. *)
         List.rev
           ({ store_site; load_site; store_tid; load_tid; addr; window_end;
-             occurrences = 1 }
+             occurrences = 1; witness = Option.map (fun f -> f ()) witness }
           :: acc)
     | r :: rest when same_pair r ~store_site ~load_site ->
         List.rev_append acc ({ r with occurrences = r.occurrences + 1 } :: rest)
@@ -82,6 +98,31 @@ let end_kind_str = function
   | Access.Overwritten_other_thread -> "overwritten by another thread"
   | Access.Open_at_exit -> "never persisted"
 
+let pp_int_set ~opening ~closing ppf xs =
+  Format.fprintf ppf "%s%a%s" opening
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    xs closing
+
+let pp_witness ppf w =
+  let locks = pp_int_set ~opening:"{" ~closing:"}" in
+  let vec = pp_int_set ~opening:"(" ~closing:")" in
+  Format.fprintf ppf
+    "@[<v 2>witness:@,\
+     store lockset     %a@,\
+     effective lockset %a@,\
+     load lockset      %a@,\
+     store vclock      %a@,\
+     window-end vclock %a@,\
+     load vclock       %a@]"
+    locks w.wt_store_locks locks w.wt_eff_locks locks w.wt_load_locks vec
+    w.wt_store_vec
+    (fun ppf -> function
+      | Some v -> vec ppf v
+      | None -> Format.pp_print_string ppf "open (never persisted)")
+    w.wt_end_vec vec w.wt_load_vec
+
 let pp_race ppf r =
   Format.fprintf ppf
     "@[<v 2>persistency-induced race (%s, %d occurrence%s):@,\
@@ -120,15 +161,33 @@ let end_kind_json = function
   | Access.Overwritten_other_thread -> "overwritten_other_thread"
   | Access.Open_at_exit -> "never_persisted"
 
+let int_list_json xs =
+  "[" ^ String.concat "," (List.map string_of_int xs) ^ "]"
+
+let witness_json = function
+  | None -> "null"
+  | Some w ->
+      Printf.sprintf
+        {|{"store_lockset":%s,"effective_lockset":%s,"load_lockset":%s,"store_vclock":%s,"window_end_vclock":%s,"load_vclock":%s}|}
+        (int_list_json w.wt_store_locks)
+        (int_list_json w.wt_eff_locks)
+        (int_list_json w.wt_load_locks)
+        (int_list_json w.wt_store_vec)
+        (match w.wt_end_vec with
+        | Some v -> int_list_json v
+        | None -> "null")
+        (int_list_json w.wt_load_vec)
+
 let to_json t =
   "["
   ^ String.concat ","
       (List.map
          (fun r ->
            Printf.sprintf
-             {|{"store":%s,"load":%s,"store_tid":%d,"load_tid":%d,"addr":%d,"window_end":"%s","occurrences":%d}|}
+             {|{"store":%s,"load":%s,"store_tid":%d,"load_tid":%d,"addr":%d,"window_end":"%s","occurrences":%d,"witness":%s}|}
              (site_json r.store_site) (site_json r.load_site) r.store_tid
-             r.load_tid r.addr (end_kind_json r.window_end) r.occurrences)
+             r.load_tid r.addr (end_kind_json r.window_end) r.occurrences
+             (witness_json r.witness))
          (sorted t))
   ^ "]"
 

@@ -38,6 +38,8 @@ let equal a b =
 
 let hash t = Array.fold_left (fun acc c -> (acc * 31) + c) 7 t
 
+let to_list = Array.to_list
+
 let pp ppf t =
   Format.fprintf ppf "(%a)"
     (Format.pp_print_list

@@ -33,4 +33,9 @@ val concurrent : t -> t -> bool
 
 val equal : t -> t -> bool
 val hash : t -> int
+
+val to_list : t -> int list
+(** Per-thread counters in thread order (canonical: no trailing zeros) —
+    how report witnesses serialize the clocks of a racing pair. *)
+
 val pp : Format.formatter -> t -> unit

@@ -435,6 +435,12 @@ let attribute runner (report : S.report) =
           else None)
         bugs
 
+(* Timeline events: the sweep as one duration bracket (arg = point count)
+   with an instant per crash point (arg = point index). Point specs are a
+   pure function of the pilot run, so the sequence is seed-deterministic. *)
+let tl_sweep = Obs.Timeline.name "crash_sweep"
+let tl_point = Obs.Timeline.name "crash_sweep.point"
+
 let run_sweep ?(config = default_config) runner =
   Obs.Registry.with_span "crash_sweep" @@ fun () ->
   let exec crash =
@@ -461,9 +467,11 @@ let run_sweep ?(config = default_config) runner =
     @ subsample config.c_max_points stride_specs
   in
   let manifested = Hashtbl.create 8 in
+  Obs.Timeline.begin_ tl_sweep ~arg:(List.length specs);
   let points =
-    List.map
-      (fun spec ->
+    List.mapi
+      (fun point_idx spec ->
+        Obs.Timeline.instant tl_point ~arg:point_idx;
         Obs.Metric.incr obs_points;
         let ex = exec spec in
         if ex.ex_report.S.outcome = S.Completed then begin
@@ -511,6 +519,7 @@ let run_sweep ?(config = default_config) runner =
         end)
       specs
   in
+  Obs.Timeline.end_ tl_sweep ~arg:(List.length specs);
   let count f = List.length (List.filter f points) in
   let sweep =
     {

@@ -14,6 +14,9 @@ type run = {
 
 let obs_distinct_races = Obs.Registry.counter "report.distinct_races"
 
+let tl_run = Obs.Timeline.name "run"
+let tl_execute = Obs.Timeline.name "run.execute"
+
 let base_labels ~app ~detector ~seed ~ops =
   [
     ("app", app);
@@ -26,17 +29,28 @@ let instrumented_run ?(config = Hawkset.Pipeline.default) ~entry ~seed ~ops ()
     =
   let reg = Obs.Registry.global in
   Obs.Registry.reset reg;
-  let (sched_report, pipeline), peak_mb =
+  let ((sched_report, pipeline), pool_peaks), peak_mb =
     Metrics.with_live_mb (fun () ->
-        Obs.Registry.with_span "run" (fun () ->
-            let sched_report =
-              Obs.Registry.with_span "execute" (fun () ->
-                  entry.Pmapps.Registry.run ~seed ~ops ())
-            in
-            let pipeline =
-              Hawkset.Pipeline.run ~config sched_report.Machine.Sched.trace
-            in
-            (sched_report, pipeline)))
+        (* Only instrumented runs pay the per-task Gc.stat of the pool
+           sampler — raw [Pipeline.run] callers (the perf gates) never
+           see the hook. *)
+        Metrics.with_pool_live_mb (fun () ->
+            Obs.Registry.with_span "run" (fun () ->
+                Obs.Timeline.begin_ tl_run;
+                Fun.protect
+                  ~finally:(fun () -> Obs.Timeline.end_ tl_run)
+                @@ fun () ->
+                let sched_report =
+                  Obs.Registry.with_span "execute" (fun () ->
+                      Obs.Timeline.begin_ tl_execute;
+                      Fun.protect
+                        ~finally:(fun () -> Obs.Timeline.end_ tl_execute)
+                        (fun () -> entry.Pmapps.Registry.run ~seed ~ops ()))
+                in
+                let pipeline =
+                  Hawkset.Pipeline.run ~config sched_report.Machine.Sched.trace
+                in
+                (sched_report, pipeline))))
   in
   Obs.Metric.add obs_distinct_races
     (Hawkset.Report.count pipeline.Hawkset.Pipeline.races);
@@ -48,7 +62,12 @@ let instrumented_run ?(config = Hawkset.Pipeline.default) ~entry ~seed ~ops ()
            ~seed ~ops
         @ [ ("jobs", string_of_int config.Hawkset.Pipeline.jobs) ])
       ~extra_gauges:
-        [ ("peak_live_mb", peak_mb); ("final_live_mb", final_live_mb) ]
+        (("peak_live_mb", peak_mb)
+        :: ("final_live_mb", final_live_mb)
+        :: List.map
+             (fun (slot, mb) ->
+               (Printf.sprintf "peak_live_mb.domain_%d" slot, mb))
+             pool_peaks)
       reg
   in
   { sched_report; pipeline; peak_mb; final_live_mb; manifest }
@@ -87,19 +106,65 @@ let render (m : Obs.Manifest.t) =
          (List.map (fun (k, v) -> k ^ "=" ^ v) m.Obs.Manifest.labels));
     Buffer.add_string b "\n\n"
   end;
-  if m.Obs.Manifest.stages <> [] then
+  if m.Obs.Manifest.stages <> [] then begin
+    (* Span paths are slash-joined; sorting by path puts every span right
+       after its ancestors ('/' sorts before any path character we use),
+       so the sorted list is a DFS preorder and indentation by depth
+       renders the tree. Each row also shows its share of the nearest
+       recorded ancestor's time. *)
+    let stages =
+      List.sort
+        (fun (a : Obs.Manifest.stage) b ->
+          String.compare a.Obs.Manifest.stage_name b.Obs.Manifest.stage_name)
+        m.Obs.Manifest.stages
+    in
+    let seconds_of = Hashtbl.create 16 in
+    List.iter
+      (fun (s : Obs.Manifest.stage) ->
+        Hashtbl.replace seconds_of s.Obs.Manifest.stage_name
+          s.Obs.Manifest.stage_seconds)
+      stages;
+    let rec parent_seconds path =
+      match String.rindex_opt path '/' with
+      | None -> None
+      | Some i -> (
+          let prefix = String.sub path 0 i in
+          match Hashtbl.find_opt seconds_of prefix with
+          | Some s -> Some s
+          | None -> parent_seconds prefix)
+    in
+    let depth path =
+      String.fold_left (fun n c -> if c = '/' then n + 1 else n) 0 path
+    in
+    let label path =
+      let last =
+        match String.rindex_opt path '/' with
+        | None -> path
+        | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+      in
+      String.make (2 * depth path) ' ' ^ last
+    in
     Buffer.add_string b
       (Tables.render
-         ~headers:[ "Span"; "Count"; "Seconds" ]
+         ~headers:[ "Span"; "Count"; "Seconds"; "% of parent" ]
          ~rows:
            (List.map
               (fun (s : Obs.Manifest.stage) ->
+                let pct =
+                  match parent_seconds s.Obs.Manifest.stage_name with
+                  | Some p when p > 0.0 ->
+                      Printf.sprintf "%.1f%%"
+                        (100.0 *. s.Obs.Manifest.stage_seconds /. p)
+                  | Some _ | None -> "-"
+                in
                 [
-                  s.Obs.Manifest.stage_name;
+                  label s.Obs.Manifest.stage_name;
                   string_of_int s.Obs.Manifest.stage_count;
                   Printf.sprintf "%.4f" s.Obs.Manifest.stage_seconds;
+                  pct;
                 ])
-              m.Obs.Manifest.stages));
+              stages))
+  end;
   let counter_rows =
     List.map
       (fun (k, v) -> [ k; string_of_int v ])

@@ -42,5 +42,7 @@ val manifest_of_pipeline :
     counters exist for a pre-recorded trace). *)
 
 val render : Obs.Manifest.t -> string
-(** The human [--stats] block: labels, span table, deterministic counter
-    table (histogram cells flattened), measured gauge table. *)
+(** The human [--stats] block: labels, the span {e tree} (spans indented
+    under their slash-path ancestors, each with its percentage of the
+    nearest recorded ancestor's seconds), deterministic counter table
+    (histogram cells flattened), measured gauge table. *)

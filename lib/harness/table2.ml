@@ -26,7 +26,12 @@ let run ?(sizes = [ 1_000; 10_000 ]) ?(seed = 42) () =
             let r = Hawkset.Pipeline.races report.Machine.Sched.trace in
             List.fold_left
               (fun acc (race : Hawkset.Report.race) ->
-                Hawkset.Report.add acc ~store_site:race.Hawkset.Report.store_site
+                Hawkset.Report.add
+                  ?witness:
+                    (Option.map
+                       (fun w () -> w)
+                       race.Hawkset.Report.witness)
+                  acc ~store_site:race.Hawkset.Report.store_site
                   ~load_site:race.Hawkset.Report.load_site
                   ~store_tid:race.Hawkset.Report.store_tid
                   ~load_tid:race.Hawkset.Report.load_tid

@@ -244,6 +244,26 @@ module Stats_tests = struct
         Alcotest.(check bool) ("render has " ^ needle) true (contains ~needle s))
       [ "Counter (deterministic)"; "Gauge (measured)"; "app=fast-fair" ]
 
+  (* The span table renders the DFS tree: children indented under their
+     parent, each with its share of the nearest recorded ancestor. *)
+  let render_span_tree () =
+    let r = Harness.Stats.instrumented_run ~entry ~seed:7 ~ops:400 () in
+    let s = Harness.Stats.render r.Harness.Stats.manifest in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) ("render has " ^ needle) true (contains ~needle s))
+      [
+        "% of parent";
+        (* "run" is a root: no parent share. *)
+        "run "; "  execute";
+        (* "pipeline/collect" is one level below "pipeline", itself below
+           "run" — two levels of indentation and a percentage. *)
+        "    collect"; "%";
+      ];
+    (* Roots render "-" in the percentage column, children a number. *)
+    Alcotest.(check bool) "roots have no parent share" true
+      (contains ~needle:"-" s)
+
   let tests =
     [
       Alcotest.test_case "same seed, same counters" `Slow deterministic_counters;
@@ -251,6 +271,7 @@ module Stats_tests = struct
         parallel_counters_identical;
       Alcotest.test_case "manifest shape" `Slow manifest_shape;
       Alcotest.test_case "stats render" `Slow render_has_sections;
+      Alcotest.test_case "span tree render" `Slow render_span_tree;
     ]
 end
 

@@ -1,0 +1,530 @@
+(* Tests for the timeline profiler and bug provenance: fixed-seed lane
+   signatures are byte-identical (the event-sequence determinism
+   contract), ring overflow drops new events without corrupting recorded
+   ones, the Chrome-trace export is valid JSON with per-lane monotone
+   timestamps, and every analysis report carries a witness. *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let entry =
+  match Pmapps.Registry.find "fast-fair" with
+  | Some e -> e
+  | None -> Alcotest.fail "fast-fair not registered"
+
+(* Every test leaves the timeline disabled and empty at default capacity,
+   so test order never matters. *)
+let with_timeline f =
+  Obs.Timeline.set_capacity 8192;
+  Obs.Timeline.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Timeline.set_enabled false;
+      Obs.Timeline.set_capacity 8192)
+    f
+
+let with_fake_clock src f =
+  Obs.Clock.set_source src;
+  Fun.protect ~finally:(fun () -> Obs.Clock.set_source Unix.gettimeofday) f
+
+let pipeline_signatures ~jobs ~seed ~ops () =
+  let report = entry.Pmapps.Registry.run ~seed ~ops () in
+  Obs.Timeline.reset ();
+  let config = { Hawkset.Pipeline.default with Hawkset.Pipeline.jobs } in
+  let _ = Hawkset.Pipeline.run ~config report.Machine.Sched.trace in
+  List.map
+    (fun lane -> (lane, Obs.Timeline.signature lane))
+    (Obs.Timeline.used_lanes ())
+
+(* --- ring behaviour --------------------------------------------------- *)
+
+module Ring_tests = struct
+  let overflow_drops_new () =
+    with_timeline (fun () ->
+        Obs.Timeline.set_capacity 8;
+        let h = Obs.Timeline.name "ring_test" in
+        for i = 0 to 10 do
+          Obs.Timeline.instant h ~arg:i
+        done;
+        Alcotest.(check int) "drop counter" 3 (Obs.Timeline.dropped 0);
+        let evs = Obs.Timeline.events 0 in
+        Alcotest.(check int) "earlier events intact" 8 (List.length evs);
+        List.iteri
+          (fun i (e : Obs.Timeline.event) ->
+            Alcotest.(check string) "name" "ring_test" e.Obs.Timeline.ev_name;
+            Alcotest.(check int) "arg in order" i e.Obs.Timeline.ev_arg)
+          evs;
+        Alcotest.(check bool)
+          "signature records the drops" true
+          (contains ~needle:"dropped 3" (Obs.Timeline.signature 0)))
+
+  let disabled_records_nothing () =
+    Obs.Timeline.reset ();
+    Obs.Timeline.set_enabled false;
+    Obs.Timeline.instant (Obs.Timeline.name "off") ~arg:1;
+    Alcotest.(check (list int)) "no lanes" [] (Obs.Timeline.used_lanes ())
+
+  let monotone_clamp () =
+    (* A clock stepping backwards must never produce an out-of-order
+       lane: timestamps clamp to the lane's last. *)
+    let t = ref 100.0 in
+    with_fake_clock
+      (fun () ->
+        t := !t -. 1.0;
+        !t)
+      (fun () ->
+        with_timeline (fun () ->
+            Obs.Timeline.reset ();
+            let h = Obs.Timeline.name "clamp" in
+            for i = 0 to 4 do
+              Obs.Timeline.instant h ~arg:i
+            done;
+            let ts =
+              List.map
+                (fun (e : Obs.Timeline.event) -> e.Obs.Timeline.ev_ts)
+                (Obs.Timeline.events 0)
+            in
+            Alcotest.(check bool)
+              "timestamps non-decreasing" true
+              (ts = List.sort compare ts)))
+
+  let signature_ignores_timestamps () =
+    let record_with src =
+      with_fake_clock src (fun () ->
+          with_timeline (fun () ->
+              Obs.Timeline.reset ();
+              let h = Obs.Timeline.name "sig" in
+              Obs.Timeline.begin_ h ~arg:7;
+              Obs.Timeline.instant h ~arg:8;
+              Obs.Timeline.end_ h ~arg:9;
+              Obs.Timeline.signature 0))
+    in
+    let fast = ref 0.0 in
+    let slow = ref 1000.0 in
+    let s1 =
+      record_with (fun () ->
+          fast := !fast +. 0.001;
+          !fast)
+    in
+    let s2 =
+      record_with (fun () ->
+          slow := !slow +. 42.0;
+          !slow)
+    in
+    Alcotest.(check string) "signatures clock-independent" s1 s2;
+    Alcotest.(check string)
+      "signature shape" "B sig 7\nI sig 8\nE sig 9\ndropped 0\n" s1
+
+  let lane_binding () =
+    with_timeline (fun () ->
+        Obs.Timeline.reset ();
+        let h = Obs.Timeline.name "lane_test" in
+        Obs.Timeline.instant h ~arg:0;
+        Obs.Timeline.with_lane 3 (fun () -> Obs.Timeline.instant h ~arg:3);
+        Obs.Timeline.instant h ~arg:0;
+        Alcotest.(check int) "restored lane" 0 (Obs.Timeline.current_lane ());
+        Alcotest.(check (list int))
+          "used lanes" [ 0; 3 ]
+          (Obs.Timeline.used_lanes ());
+        Alcotest.(check int) "lane 0 events" 2
+          (List.length (Obs.Timeline.events 0));
+        Alcotest.(check int) "lane 3 events" 1
+          (List.length (Obs.Timeline.events 3)))
+
+  let tests =
+    [
+      Alcotest.test_case "overflow drops new, keeps old" `Quick
+        overflow_drops_new;
+      Alcotest.test_case "disabled records nothing" `Quick
+        disabled_records_nothing;
+      Alcotest.test_case "monotone clamp" `Quick monotone_clamp;
+      Alcotest.test_case "signature ignores timestamps" `Quick
+        signature_ignores_timestamps;
+      Alcotest.test_case "lane binding" `Quick lane_binding;
+    ]
+end
+
+(* --- fixed-seed determinism ------------------------------------------- *)
+
+module Determinism_tests = struct
+  (* The acceptance criterion: two same-seed runs produce byte-identical
+     per-lane event sequences (timestamps excluded by {!signature}). *)
+  let same_seed_same_signatures () =
+    with_timeline (fun () ->
+        let s1 = pipeline_signatures ~jobs:2 ~seed:7 ~ops:400 () in
+        let s2 = pipeline_signatures ~jobs:2 ~seed:7 ~ops:400 () in
+        Alcotest.(check int) "two lanes used" 2 (List.length s1);
+        Alcotest.(check (list (pair int string)))
+          "per-lane signatures byte-identical" s1 s2)
+
+  let expected_lane0_shape () =
+    with_timeline (fun () ->
+        let sigs = pipeline_signatures ~jobs:2 ~seed:7 ~ops:400 () in
+        let lane0 = List.assoc 0 sigs in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) ("lane 0 has " ^ needle) true
+              (contains ~needle lane0))
+          [
+            "B pipeline"; "B pipeline.collect"; "B collector.collect";
+            "E collector.collect"; "B pipeline.analyse"; "B analysis.shard 0";
+            "E analysis.shard 0"; "E pipeline";
+          ];
+        (* Shard 1 runs on the pool worker's lane, never the caller's. *)
+        Alcotest.(check bool) "shard 1 not on lane 0" false
+          (contains ~needle:"B analysis.shard 1" lane0);
+        let lane1 = List.assoc 1 sigs in
+        Alcotest.(check string)
+          "worker lane is exactly its shard"
+          "B analysis.shard 1\nE analysis.shard 1\ndropped 0\n" lane1)
+
+  let sequential_uses_one_lane () =
+    with_timeline (fun () ->
+        let sigs = pipeline_signatures ~jobs:1 ~seed:7 ~ops:400 () in
+        Alcotest.(check (list int)) "only the caller lane" [ 0 ]
+          (List.map fst sigs);
+        Alcotest.(check bool) "sequential analysis event" true
+          (contains ~needle:"B analysis.sequential" (List.assoc 0 sigs)))
+
+  let tests =
+    [
+      Alcotest.test_case "same seed, same signatures" `Slow
+        same_seed_same_signatures;
+      Alcotest.test_case "lane 0 event shape" `Slow expected_lane0_shape;
+      Alcotest.test_case "jobs=1 stays on lane 0" `Slow
+        sequential_uses_one_lane;
+    ]
+end
+
+(* --- Chrome-trace export ---------------------------------------------- *)
+
+(* A minimal JSON reader — enough to round-trip the exporter's output and
+   fail loudly on malformed text. *)
+module Mini_json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else raise (Bad "eof") in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false) do
+        advance ()
+      done
+    in
+    let expect c =
+      if peek () <> c then
+        raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
+      advance ()
+    in
+    let literal lit v =
+      String.iter (fun c -> expect c) lit;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (match peek () with
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'u' ->
+                advance (); advance (); advance ();
+                Buffer.add_char b '?'
+            | c -> Buffer.add_char b c);
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      while
+        !pos < n
+        && (match s.[!pos] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        advance ()
+      done;
+      if !pos = start then raise (Bad "empty number");
+      float_of_string (String.sub s start (!pos - start))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = '}' then begin advance (); Obj [] end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | ',' -> advance (); members ((k, v) :: acc)
+              | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+              | c -> raise (Bad (Printf.sprintf "bad object char %c" c))
+            in
+            members []
+          end
+      | '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = ']' then begin advance (); Arr [] end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | ',' -> advance (); elements (v :: acc)
+              | ']' -> advance (); Arr (List.rev (v :: acc))
+              | c -> raise (Bad (Printf.sprintf "bad array char %c" c))
+            in
+            elements []
+          end
+      | '"' -> Str (parse_string ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+
+  let member k = function
+    | Obj kvs -> List.assoc k kvs
+    | _ -> raise (Bad ("not an object looking up " ^ k))
+end
+
+module Export_tests = struct
+  let export () =
+    with_timeline (fun () ->
+        ignore (pipeline_signatures ~jobs:4 ~seed:7 ~ops:400 ());
+        Obs.Timeline.to_chrome_json ())
+
+  let valid_json_and_monotone () =
+    let raw = export () in
+    let j = Mini_json.parse raw in
+    let evs =
+      match Mini_json.member "traceEvents" j with
+      | Mini_json.Arr evs -> evs
+      | _ -> Alcotest.fail "traceEvents not an array"
+    in
+    Alcotest.(check bool) "has events" true (List.length evs > 0);
+    (* Per-lane timestamps are monotone in recording order. *)
+    let last = Hashtbl.create 8 in
+    let lanes = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let str_mem k =
+          match Mini_json.member k e with
+          | Mini_json.Str s -> s
+          | _ -> Alcotest.fail (k ^ " not a string")
+        in
+        let num_mem k =
+          match Mini_json.member k e with
+          | Mini_json.Num x -> x
+          | _ -> Alcotest.fail (k ^ " not a number")
+        in
+        let tid = int_of_float (num_mem "tid") in
+        match str_mem "ph" with
+        | "M" ->
+            Alcotest.(check string) "metadata name" "thread_name"
+              (str_mem "name");
+            Hashtbl.replace lanes tid ()
+        | "B" | "E" | "i" ->
+            let ts = num_mem "ts" in
+            Alcotest.(check bool) "ts non-negative" true (ts >= 0.0);
+            (match Hashtbl.find_opt last tid with
+            | Some prev ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "lane %d monotone" tid)
+                  true (ts >= prev)
+            | None -> ());
+            Hashtbl.replace last tid ts
+        | ph -> Alcotest.fail ("unexpected ph " ^ ph))
+      evs;
+    (* One thread_name lane per pool domain: jobs=4 -> lanes 0..3. *)
+    Alcotest.(check int) "4 labelled lanes" 4 (Hashtbl.length lanes);
+    List.iter
+      (fun lane ->
+        Alcotest.(check bool)
+          (Printf.sprintf "lane %d labelled" lane)
+          true (Hashtbl.mem lanes lane))
+      [ 0; 1; 2; 3 ]
+
+  let begin_end_nesting () =
+    (* B/E events on a lane must balance like parentheses, or Perfetto
+       renders garbage. *)
+    let raw = export () in
+    let j = Mini_json.parse raw in
+    let evs =
+      match Mini_json.member "traceEvents" j with
+      | Mini_json.Arr evs -> evs
+      | _ -> Alcotest.fail "traceEvents not an array"
+    in
+    let depth = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let tid =
+          match Mini_json.member "tid" e with
+          | Mini_json.Num x -> int_of_float x
+          | _ -> Alcotest.fail "tid"
+        in
+        let d = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+        match Mini_json.member "ph" e with
+        | Mini_json.Str "B" -> Hashtbl.replace depth tid (d + 1)
+        | Mini_json.Str "E" ->
+            Alcotest.(check bool) "E has a matching B" true (d > 0);
+            Hashtbl.replace depth tid (d - 1)
+        | _ -> ())
+      evs;
+    Hashtbl.iter
+      (fun tid d ->
+        Alcotest.(check int) (Printf.sprintf "lane %d balanced" tid) 0 d)
+      depth
+
+  let duration_gauges () =
+    let fake = ref 0.0 in
+    with_fake_clock
+      (fun () ->
+        fake := !fake +. 0.5;
+        !fake)
+      (fun () ->
+        with_timeline (fun () ->
+            Obs.Timeline.reset ();
+            let h = Obs.Timeline.name "gauge_test" in
+            Obs.Timeline.begin_ h;
+            Obs.Timeline.end_ h;
+            let gauges = Obs.Timeline.duration_gauges () in
+            Alcotest.(check (option (float 1e-9)))
+              "count" (Some 1.0)
+              (List.assoc_opt "timeline.gauge_test.count" gauges);
+            Alcotest.(check (option (float 1e-9)))
+              "total" (Some 0.5)
+              (List.assoc_opt "timeline.gauge_test.total_s" gauges);
+            Alcotest.(check (option (float 1e-9)))
+              "max" (Some 0.5)
+              (List.assoc_opt "timeline.gauge_test.max_s" gauges)))
+
+  let tests =
+    [
+      Alcotest.test_case "valid JSON, monotone per lane" `Slow
+        valid_json_and_monotone;
+      Alcotest.test_case "B/E balance per lane" `Slow begin_end_nesting;
+      Alcotest.test_case "duration gauges" `Quick duration_gauges;
+    ]
+end
+
+(* --- bug provenance --------------------------------------------------- *)
+
+module Provenance_tests = struct
+  let races ~jobs =
+    let report = entry.Pmapps.Registry.run ~seed:7 ~ops:400 () in
+    let config = { Hawkset.Pipeline.default with Hawkset.Pipeline.jobs } in
+    Hawkset.Pipeline.races ~config report.Machine.Sched.trace
+
+  let every_report_has_a_witness () =
+    let races = races ~jobs:1 in
+    Alcotest.(check bool) "found races" true (Hawkset.Report.count races > 0);
+    List.iter
+      (fun (r : Hawkset.Report.race) ->
+        match r.Hawkset.Report.witness with
+        | Some w ->
+            (* The effective lockset is an intersection of the store's:
+               every effective lock was held at the store. *)
+            List.iter
+              (fun l ->
+                Alcotest.(check bool) "eff subset of store" true
+                  (List.mem l w.Hawkset.Report.wt_store_locks))
+              w.Hawkset.Report.wt_eff_locks;
+            (* The race test requires eff ∩ load = ∅. *)
+            List.iter
+              (fun l ->
+                Alcotest.(check bool) "eff disjoint from load" true
+                  (not (List.mem l w.Hawkset.Report.wt_load_locks)))
+              w.Hawkset.Report.wt_eff_locks
+        | None -> Alcotest.fail "report without witness")
+      (Hawkset.Report.sorted races)
+
+  let witness_in_json () =
+    let j = Hawkset.Report.to_json (races ~jobs:1) in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) ("json has " ^ needle) true (contains ~needle j))
+      [
+        {|"witness":{|}; {|"store_lockset":|}; {|"effective_lockset":|};
+        {|"load_lockset":|}; {|"store_vclock":|}; {|"window_end_vclock":|};
+        {|"load_vclock":|};
+      ]
+
+  let witness_identical_across_jobs () =
+    (* Witnesses ride the first-witness-wins merge, so the full JSON —
+       provenance included — is byte-identical for any jobs count. *)
+    Alcotest.(check string)
+      "to_json identical jobs=1 vs jobs=4"
+      (Hawkset.Report.to_json (races ~jobs:1))
+      (Hawkset.Report.to_json (races ~jobs:4))
+
+  let pp_witness_renders () =
+    let races = races ~jobs:1 in
+    match
+      List.filter_map
+        (fun (r : Hawkset.Report.race) -> r.Hawkset.Report.witness)
+        (Hawkset.Report.sorted races)
+    with
+    | [] -> Alcotest.fail "no witness to render"
+    | w :: _ ->
+        let s = Format.asprintf "%a" Hawkset.Report.pp_witness w in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) ("pp has " ^ needle) true
+              (contains ~needle s))
+          [ "witness:"; "effective lockset"; "store vclock"; "load vclock" ]
+
+  let tests =
+    [
+      Alcotest.test_case "every report has a witness" `Slow
+        every_report_has_a_witness;
+      Alcotest.test_case "witness in to_json" `Slow witness_in_json;
+      Alcotest.test_case "witness identical across jobs" `Slow
+        witness_identical_across_jobs;
+      Alcotest.test_case "pp_witness renders" `Slow pp_witness_renders;
+    ]
+end
+
+let () =
+  Alcotest.run "timeline"
+    [
+      ("ring", Ring_tests.tests);
+      ("determinism", Determinism_tests.tests);
+      ("export", Export_tests.tests);
+      ("provenance", Provenance_tests.tests);
+    ]
