@@ -357,6 +357,45 @@ let perf_smoke ~full =
     exit 1
   end
 
+(* ---- schedule exploration (the `explore` target) ----
+   The interleaving-stability gate: a policy/seed sweep over three apps
+   must pass the oracle (no erroring schedule, every directly-observed
+   inconsistency already reported by the lockset analysis of that trace,
+   identical traces identical reports) and reproduce the Table 3 shape —
+   at least one injected bug that HawkSet reports in more schedules than
+   direct observation catches it. *)
+
+let explore_smoke ~full =
+  let config =
+    {
+      Explore.default_config with
+      Explore.schedules = (if full then 32 else 12);
+      ops = (if full then 400 else 200);
+      jobs = 2;
+    }
+  in
+  let apps = [ "fast-fair"; "p-masstree"; "wipe" ] in
+  let ts = Harness.Explore_sweep.run ~config ~apps () in
+  print_string (Harness.Explore_sweep.to_string ts);
+  print_string (Harness.Explore_sweep.bug_table_string ts);
+  if not (Harness.Explore_sweep.stable ts) then begin
+    print_string (Harness.Explore_sweep.divergences_string ts);
+    failwith "explore: interleaving-stability oracle violated"
+  end;
+  let pmrace_misses =
+    List.exists
+      (fun (t : Explore.t) ->
+        List.exists
+          (fun (b : Explore.bug_hits) ->
+            b.Explore.b_hawkset > b.Explore.b_pmrace)
+          t.Explore.x_bug_hits)
+      ts
+  in
+  if not pmrace_misses then
+    failwith
+      "explore: expected at least one bug observed in fewer schedules than \
+       HawkSet reports it"
+
 (* ---- crash sweep (the `crash-sweep` target) ----
    Runs the fault-injection sweep on the four bug-target apps named in the
    acceptance criteria plus the pmlog control, hunting across a few seeds
@@ -525,7 +564,8 @@ let () =
   let any =
     List.exists wants
       [ "table1"; "table2"; "table3"; "table4"; "figure6"; "ablation";
-        "micro"; "par"; "json"; "--json"; "crash-sweep"; "perf-smoke" ]
+        "micro"; "par"; "json"; "--json"; "crash-sweep"; "perf-smoke";
+        "explore" ]
   in
   let run name f = if (not any) || wants name then f ~full in
   run "table1" table1;
@@ -536,6 +576,9 @@ let () =
   run "ablation" ablation;
   (* `crash-sweep` is opt-in only: it executes hundreds of cut runs. *)
   if wants "crash-sweep" then crash_sweep ~full;
+  (* `explore` is opt-in only: it runs the full pipeline once per
+     schedule. *)
+  if wants "explore" then explore_smoke ~full;
   (* `perf-smoke` is opt-in only: the CI regression gate. *)
   if wants "perf-smoke" then perf_smoke ~full;
   (* `par` and `json` (or `--json`) are opt-in only: they are not part of

@@ -566,7 +566,7 @@ let figure6_cmd =
 
 let crash_sweep_cmd =
   let go () apps seed ops threads stride max_points no_fences no_attribute
-      verify_budget details stats stats_json trace_out =
+      verify_budget dump_traces details stats stats_json trace_out =
     start_timeline trace_out;
     let config =
       {
@@ -578,6 +578,7 @@ let crash_sweep_cmd =
         c_fence_points = not no_fences;
         c_attribute = not no_attribute;
         c_verify_budget = verify_budget;
+        c_dump_dir = dump_traces;
       }
     in
     let rows = Harness.Crash_sweep.run ~config ~apps () in
@@ -640,6 +641,16 @@ let crash_sweep_cmd =
             "Event budget for each recovery run; a recovery that exceeds it \
              counts as a recovery failure instead of hanging the sweep.")
   in
+  let dump_traces =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-traces" ] ~docv:"DIR"
+          ~doc:
+            "Dump the crashed prefix trace of damaged or failed points \
+             (checksummed, replayable with $(b,analyze); capped at two per \
+             application) into $(docv).")
+  in
   let details =
     Arg.(
       value & flag
@@ -653,7 +664,97 @@ let crash_sweep_cmd =
           what acknowledged work survived.")
     Term.(const go $ logging_term $ apps $ seed_arg $ ops_arg 400 $ threads
           $ stride $ max_points $ no_fences $ no_attribute $ verify_budget
-          $ details $ stats_arg $ stats_json_arg $ trace_out_arg)
+          $ dump_traces $ details $ stats_arg $ stats_json_arg
+          $ trace_out_arg)
+
+let explore_cmd =
+  let go () apps schedules policy depth jobs seed ops trace_out stats
+      stats_json =
+    let policy =
+      match Explore.policy_kind_of_string policy with
+      | Ok p -> p
+      | Error msg ->
+          Format.eprintf "explore: %s@." msg;
+          exit 1
+    in
+    let config =
+      {
+        Explore.schedules;
+        policy;
+        depth;
+        jobs;
+        seed;
+        ops;
+        dump_dir = trace_out;
+      }
+    in
+    let ts = Harness.Explore_sweep.run ~config ~apps () in
+    if ts = [] then begin
+      Format.eprintf "explore: no application matched (try list-apps)@.";
+      exit 1
+    end;
+    print_string (Harness.Explore_sweep.to_string ts);
+    print_string (Harness.Explore_sweep.bug_table_string ts);
+    let diverged = Harness.Explore_sweep.divergences_string ts in
+    if diverged <> "" then print_string diverged;
+    emit_stats ~stats ~stats_json (Harness.Explore_sweep.manifest ts);
+    if not (Harness.Explore_sweep.stable ts) then exit 1
+  in
+  let apps =
+    Arg.(
+      value & opt_all string []
+      & info [ "a"; "app" ] ~docv:"APP"
+          ~doc:"Application to explore (repeatable). Default: all of them.")
+  in
+  let schedules =
+    Arg.(
+      value & opt int Explore.default_config.Explore.schedules
+      & info [ "schedules" ] ~docv:"N" ~doc:"Schedules to explore per app.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "all"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Scheduler policy family: $(b,random), $(b,round-robin), \
+             $(b,delay), $(b,pct) or $(b,all) (round-robin once, then a \
+             cycle of the randomized families).")
+  in
+  let depth =
+    Arg.(
+      value & opt int Explore.default_config.Explore.depth
+      & info [ "depth" ] ~docv:"D"
+          ~doc:"PCT preemption depth (priority change points per schedule).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains exploring schedules in parallel. Results and \
+             deterministic counters are identical for every $(docv).")
+  in
+  let explore_trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"DIR"
+          ~doc:
+            "On an oracle violation, dump the reference and divergent \
+             traces (checksummed, replayable with $(b,analyze)) into \
+             $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Sweep scheduler policies and seeds, run the detector once per \
+          schedule and check the interleaving-stability oracle: every \
+          directly-observed inconsistency must already be in that \
+          schedule's lockset report, and identical traces must yield \
+          identical reports. Exits 1 on any violation.")
+    Term.(const go $ logging_term $ apps $ schedules $ policy $ depth $ jobs
+          $ seed_arg $ ops_arg Explore.default_config.Explore.ops
+          $ explore_trace_out $ stats_arg $ stats_json_arg)
 
 let ablation_cmd =
   let go ops =
@@ -673,8 +774,8 @@ let () =
   let group =
     Cmd.group info
       [ run_cmd; list_cmd; bugs_cmd; explain_cmd; trace_cmd; analyze_cmd;
-        crash_sweep_cmd; table2_cmd; table3_cmd; table4_cmd; figure6_cmd;
-        ablation_cmd ]
+        explore_cmd; crash_sweep_cmd; table2_cmd; table3_cmd; table4_cmd;
+        figure6_cmd; ablation_cmd ]
   in
   (* [~catch:false] so damaged inputs reach this handler: a bad trace file
      is an input problem (exit 2, one-line diagnostic), not a crash. *)

@@ -7,11 +7,16 @@ let apply (type a) (module App : App_intf.KV with type t = a) (t : a) ctx op =
   | Workload.Op.Get key -> ignore (App.get t ctx ~key)
   | Workload.Op.Delete key -> App.delete t ctx ~key
 
-let run_kv (module App : App_intf.KV) ?(seed = 0) ?policy ?observe
+let run_kv (module App : App_intf.KV) ?(seed = 0) ?sched_seed ?policy ?observe
     ?(heap_mb = 64) ?crash_after_events ~load ~per_thread () =
   let heap = Pmem.Heap.create ~size:(heap_mb * 1024 * 1024) () in
   let nthreads = max 1 (Array.length per_thread) in
-  S.run ~seed ?policy ~sync_config:App.sync_config ?crash_after_events
+  (* The scheduler seed defaults to the workload seed; passing it
+     separately explores different interleavings of the same operations
+     (the stability-oracle axis in {!Explore}). *)
+  let sched_seed = Option.value ~default:seed sched_seed in
+  S.run ~seed:sched_seed ?policy ~sync_config:App.sync_config
+    ?crash_after_events
     ?observe ~heap (fun ctx ->
       let t = App.create ctx in
       (* The load phase runs on the same worker threads as the main phase
@@ -43,11 +48,11 @@ let run_kv (module App : App_intf.KV) ?(seed = 0) ?policy ?observe
       in
       List.iter (S.join ctx) workers)
 
-let run_kv_ycsb (module App : App_intf.KV) ?(seed = 0) ?(threads = 8) ?policy
-    ?observe ~ops () =
+let run_kv_ycsb (module App : App_intf.KV) ?(seed = 0) ?sched_seed
+    ?(threads = 8) ?policy ?observe ~ops () =
   let spec = { (Workload.Ycsb.paper_mix ~ops) with threads } in
   let w = Workload.Ycsb.generate ~seed spec in
   run_kv
     (module App)
-    ~seed ?policy ?observe ~load:w.Workload.Ycsb.load
+    ~seed ?sched_seed ?policy ?observe ~load:w.Workload.Ycsb.load
     ~per_thread:w.Workload.Ycsb.per_thread ()

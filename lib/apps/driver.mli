@@ -9,6 +9,7 @@
 val run_kv :
   (module App_intf.KV) ->
   ?seed:int ->
+  ?sched_seed:int ->
   ?policy:Machine.Sched.policy ->
   ?observe:bool ->
   ?heap_mb:int ->
@@ -21,6 +22,7 @@ val run_kv :
 val run_kv_ycsb :
   (module App_intf.KV) ->
   ?seed:int ->
+  ?sched_seed:int ->
   ?threads:int ->
   ?policy:Machine.Sched.policy ->
   ?observe:bool ->
@@ -29,4 +31,8 @@ val run_kv_ycsb :
   Machine.Sched.report
 (** The paper's workload: 1k-insert load phase plus [ops] main-phase
     operations in the 30/30/30/10 mix across [threads] (default 8)
-    workers. *)
+    workers.
+
+    Both functions: [seed] generates the workload and, by default, also
+    drives the scheduler; [sched_seed] overrides the latter so the same
+    operations can be replayed under a different interleaving. *)

@@ -4,6 +4,7 @@ type entry = {
   reg_name : string;
   run :
     ?seed:int ->
+    ?sched_seed:int ->
     ?policy:Machine.Sched.policy ->
     ?observe:bool ->
     ops:int ->
@@ -21,8 +22,9 @@ let kv_entry (module App : App_intf.KV) ?max_ops ~sync_method
   {
     reg_name = App.name;
     run =
-      (fun ?seed ?policy ?observe ~ops () ->
-        Driver.run_kv_ycsb (module App) ?seed ?policy ?observe ~ops ());
+      (fun ?seed ?sched_seed ?policy ?observe ~ops () ->
+        Driver.run_kv_ycsb (module App) ?seed ?sched_seed ?policy ?observe
+          ~ops ());
     bugs = App.bugs;
     benign = App.benign;
     max_ops;
@@ -47,10 +49,12 @@ let apply_mc t ctx op =
   | Workload.Op.Mc_incr key -> Memcached.incr t ctx ~key
   | Workload.Op.Mc_decr key -> Memcached.decr t ctx ~key
 
-let run_memcached ?(seed = 0) ?policy ?observe ~ops () =
+let run_memcached ?(seed = 0) ?sched_seed ?policy ?observe ~ops () =
   let heap = Pmem.Heap.create ~size:(128 * 1024 * 1024) () in
   let per_thread = Workload.Ycsb.memcached_mix ~seed ~ops ~threads:8 in
-  S.run ~seed ?policy ?observe ~sync_config:Memcached.sync_config ~heap
+  let sched_seed = Option.value ~default:seed sched_seed in
+  S.run ~seed:sched_seed ?policy ?observe ~sync_config:Memcached.sync_config
+    ~heap
     (fun ctx ->
       let t = Memcached.create ctx in
       let workers =
@@ -61,11 +65,13 @@ let run_memcached ?(seed = 0) ?policy ?observe ~ops () =
       in
       List.iter (S.join ctx) workers)
 
-let run_madfs ?(seed = 0) ?policy ?observe ~ops () =
+let run_madfs ?(seed = 0) ?sched_seed ?policy ?observe ~ops () =
   let heap = Pmem.Heap.create ~size:(256 * 1024 * 1024) () in
   let blocks = 64 in
   let per_thread = Workload.Ycsb.madfs_mix ~seed ~ops ~threads:8 ~file_blocks:blocks in
-  S.run ~seed ?policy ?observe ~sync_config:Madfs.sync_config ~heap (fun ctx ->
+  let sched_seed = Option.value ~default:seed sched_seed in
+  S.run ~seed:sched_seed ?policy ?observe ~sync_config:Madfs.sync_config ~heap
+    (fun ctx ->
       let t = Madfs.create ctx ~blocks in
       let payload = Bytes.make Madfs.block_size 'w' in
       let workers =

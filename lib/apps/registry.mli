@@ -8,13 +8,17 @@ type entry = {
   reg_name : string;
   run :
     ?seed:int ->
+    ?sched_seed:int ->
     ?policy:Machine.Sched.policy ->
     ?observe:bool ->
     ops:int ->
     unit ->
     Machine.Sched.report;
       (** Executes the §5 workload for this application ([ops] main-phase
-          operations, 8 threads) and returns the instrumented report. *)
+          operations, 8 threads) and returns the instrumented report.
+          [seed] fixes the workload (and by default the schedule);
+          [sched_seed] replays the same workload under a different
+          interleaving — the axis {!Explore} sweeps. *)
   bugs : Ground_truth.bug list;
   benign : Ground_truth.benign_rule list;
   max_ops : int option;

@@ -84,6 +84,23 @@ let sorted t =
           (Trace.Site.location b.load_site))
     t
 
+(* The schedule-insensitive projection of a report set: sorted distinct
+   (store location, load location) pairs. Occurrence counts, thread ids,
+   addresses and witnesses all legitimately vary across interleavings;
+   the site-pair set is what HawkSet claims is stable (Table 3). *)
+let canonical t =
+  List.map
+    (fun r ->
+      (Trace.Site.location r.store_site, Trace.Site.location r.load_site))
+    (sorted t)
+
+(* Set difference of two canonical lists ([canonical] yields each pair
+   once, so list subtraction is set subtraction). *)
+let canonical_diff ~expected ~actual =
+  let missing = List.filter (fun p -> not (List.mem p actual)) expected in
+  let extra = List.filter (fun p -> not (List.mem p expected)) actual in
+  (missing, extra)
+
 let mem t ~store_loc ~load_loc =
   List.exists
     (fun r ->

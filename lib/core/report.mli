@@ -75,6 +75,20 @@ val mem : t -> store_loc:string -> load_loc:string -> bool
 (** Does the report set contain this ["file:line"] pair? Used to match
     against the ground-truth bug registry. *)
 
+val canonical : t -> (string * string) list
+(** The schedule-insensitive projection: sorted distinct
+    [(store location, load location)] pairs, each appearing once.
+    Occurrence counts, thread ids, addresses and witnesses vary across
+    interleavings; this set is what the stability oracle compares. *)
+
+val canonical_diff :
+  expected:(string * string) list ->
+  actual:(string * string) list ->
+  (string * string) list * (string * string) list
+(** [(missing, extra)]: pairs of [expected] absent from [actual], and
+    pairs of [actual] absent from [expected]. Both empty iff the
+    canonical sets agree. *)
+
 val pp_race : Format.formatter -> race -> unit
 
 val pp_witness : Format.formatter -> witness -> unit

@@ -372,6 +372,7 @@ type config = {
   c_fence_points : bool;
   c_attribute : bool;
   c_verify_budget : int;
+  c_dump_dir : string option;
 }
 
 let default_config =
@@ -384,6 +385,7 @@ let default_config =
     c_fence_points = true;
     c_attribute = true;
     c_verify_budget = 200_000;
+    c_dump_dir = None;
   }
 
 type point = {
@@ -393,6 +395,7 @@ type point = {
   pt_at_risk : int;
   pt_outcome : outcome option;
   pt_bugs : int list;
+  pt_fixture : string option;
 }
 
 type sweep = {
@@ -467,6 +470,31 @@ let run_sweep ?(config = default_config) runner =
     @ subsample config.c_max_points stride_specs
   in
   let manifested = Hashtbl.create 8 in
+  (* Damaged-point traces become golden fixtures: the crashed prefix,
+     saved with the checksum trailer so replay (`hawkset analyze`, the
+     salvage tests) can verify integrity. Capped per sweep — the first
+     few damaged points carry all the evidence. *)
+  let dumped = ref 0 in
+  let max_dumps = 2 in
+  let dump_point spec (report : S.report) =
+    match config.c_dump_dir with
+    | Some dir when !dumped < max_dumps ->
+        incr dumped;
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let tag =
+          match spec with
+          | `After_events n -> Printf.sprintf "event%d" n
+          | `After_fences n -> Printf.sprintf "fence%d" n
+          | `No -> "full"
+        in
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "crash-%s-%s.trace" runner.r_name tag)
+        in
+        Trace.Trace_io.save path report.S.trace;
+        Some path
+    | Some _ | None -> None
+  in
   Obs.Timeline.begin_ tl_sweep ~arg:(List.length specs);
   let points =
     List.mapi
@@ -485,10 +513,16 @@ let run_sweep ?(config = default_config) runner =
             pt_at_risk = ex.ex_at_risk_bytes;
             pt_outcome = None;
             pt_bugs = [];
+            pt_fixture = None;
           }
         end
         else begin
           let outcome = ex.ex_verify ~budget:config.c_verify_budget in
+          let fixture =
+            match outcome with
+            | Damaged _ | Recovery_raised _ -> dump_point spec ex.ex_report
+            | Clean -> None
+          in
           let bugs =
             match outcome with
             | Clean ->
@@ -515,6 +549,7 @@ let run_sweep ?(config = default_config) runner =
             pt_at_risk = ex.ex_at_risk_bytes;
             pt_outcome = Some outcome;
             pt_bugs = bugs;
+            pt_fixture = fixture;
           }
         end)
       specs

@@ -79,6 +79,11 @@ type config = {
       (** Analyse damaged prefixes with the pipeline and cross-reference
           {!Pmapps.Ground_truth} (the manifested-bug column). *)
   c_verify_budget : int;  (** Event budget for each recovery run. *)
+  c_dump_dir : string option;
+      (** Dump the crashed prefix trace of damaged/failed points (capped
+          at two per sweep) into this directory as checksummed [.trace]
+          fixtures, replayable with the offline analyser. [None] (the
+          default): no dumps. *)
 }
 
 val default_config : config
@@ -92,6 +97,8 @@ type point = {
   pt_at_risk : int;
   pt_outcome : outcome option;  (** [None]: run completed, nothing to verify. *)
   pt_bugs : int list;  (** Ground-truth ids manifested at this point. *)
+  pt_fixture : string option;
+      (** Where this point's prefix trace was dumped, if it was. *)
 }
 
 type sweep = {

@@ -1,0 +1,120 @@
+(* Multi-application schedule-exploration driver. Pure presentation on
+   top of {!Explore}: app selection, the summary/divergence/bug tables
+   and the sweep manifest. *)
+
+module R = Pmapps.Registry
+
+let select apps =
+  if apps = [] then R.all
+  else begin
+    List.iter
+      (fun name ->
+        if R.find name = None then
+          Format.eprintf "explore: unknown application %S, skipping@." name)
+      apps;
+    List.filter (fun (e : R.entry) -> List.mem e.R.reg_name apps) R.all
+  end
+
+let run ?(config = Explore.default_config) ?(apps = []) () =
+  List.map (Explore.run ~config) (select apps)
+
+let stable ts = List.for_all Explore.stable ts
+
+let to_string ts =
+  let row (t : Explore.t) =
+    let schedules = List.length t.Explore.x_results in
+    [
+      t.Explore.x_app;
+      string_of_int schedules;
+      string_of_int t.Explore.x_errors;
+      string_of_int (List.length t.Explore.x_divergences);
+      string_of_int t.Explore.x_distinct_traces;
+      string_of_int t.Explore.x_report_sets;
+      string_of_int t.Explore.x_racing_pairs;
+      string_of_int t.Explore.x_observed_pairs;
+      (if t.Explore.x_seconds > 0.0 then
+         Printf.sprintf "%.1f" (float_of_int schedules /. t.Explore.x_seconds)
+       else "-");
+      (if Explore.stable t then "stable" else "UNSTABLE");
+    ]
+  in
+  Tables.section "Schedule stability"
+  ^ Tables.render
+      ~headers:
+        [ "Application"; "Schedules"; "Errors"; "Divergences"; "Traces";
+          "Report sets"; "Racing pairs"; "Observed"; "Sched/s"; "Verdict" ]
+      ~rows:(List.map row ts)
+
+let pp_pairs pairs =
+  String.concat ", " (List.map (fun (s, l) -> s ^ " -> " ^ l) pairs)
+
+let divergences_string ts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (t : Explore.t) ->
+      List.iter
+        (fun (d : Explore.divergence) ->
+          let r =
+            List.find
+              (fun (r : Explore.schedule_result) ->
+                r.Explore.s_index = d.Explore.d_index)
+              t.Explore.x_results
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s: schedule %d (%s, seed %d) violates the oracle\n"
+               t.Explore.x_app d.Explore.d_index r.Explore.s_policy
+               r.Explore.s_sched_seed);
+          if d.Explore.d_missing <> [] then
+            Buffer.add_string buf
+              (Printf.sprintf "  observed but unreported: %s\n"
+                 (pp_pairs d.Explore.d_missing));
+          if d.Explore.d_extra <> [] then
+            Buffer.add_string buf
+              (Printf.sprintf "  disagrees with fingerprint twin on: %s\n"
+                 (pp_pairs d.Explore.d_extra));
+          (match d.Explore.d_base_fixture with
+          | Some p -> Buffer.add_string buf ("  reference trace: " ^ p ^ "\n")
+          | None -> ());
+          match d.Explore.d_fixture with
+          | Some p -> Buffer.add_string buf ("  divergent trace: " ^ p ^ "\n")
+          | None -> ())
+        t.Explore.x_divergences;
+      List.iter
+        (fun (r : Explore.schedule_result) ->
+          match r.Explore.s_error with
+          | Some e ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s: schedule %d (%s, seed %d) failed: %s\n"
+                   t.Explore.x_app r.Explore.s_index r.Explore.s_policy
+                   r.Explore.s_sched_seed e)
+          | None -> ())
+        t.Explore.x_results)
+    ts;
+  Buffer.contents buf
+
+let bug_table_string ts =
+  let rows =
+    List.concat_map
+      (fun (t : Explore.t) ->
+        let schedules = string_of_int (List.length t.Explore.x_results) in
+        List.map
+          (fun (b : Explore.bug_hits) ->
+            [
+              t.Explore.x_app;
+              "#" ^ string_of_int b.Explore.b_id;
+              b.Explore.b_desc;
+              Printf.sprintf "%d/%s" b.Explore.b_hawkset schedules;
+              Printf.sprintf "%d/%s" b.Explore.b_pmrace schedules;
+            ])
+          t.Explore.x_bug_hits)
+      ts
+  in
+  if rows = [] then ""
+  else
+    Tables.section "Known bugs across interleavings"
+    ^ Tables.render
+        ~headers:
+          [ "Application"; "Bug"; "Description"; "HawkSet"; "Observed (PMRace)" ]
+        ~rows
+
+let manifest = Explore.manifest

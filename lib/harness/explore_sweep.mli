@@ -1,0 +1,35 @@
+(** Harness driver for schedule exploration ({!Explore}): run the
+    interleaving-stability oracle over a set of applications and render
+    the summary, divergence and per-bug hit-rate tables the CLI prints.
+
+    The summary row per application: schedules explored, errors,
+    divergences, distinct trace fingerprints, distinct canonical report
+    sets (coverage jitter), racing-pair and observed-pair union sizes,
+    schedules/second and the verdict ([stable] / [UNSTABLE]). The
+    hit-rate table reproduces the Table 3 shape per ground-truth bug:
+    how many schedules HawkSet's one-trace analysis reported it in
+    versus how many directly observed it (the PMRace signal). *)
+
+val run :
+  ?config:Explore.config -> ?apps:string list -> unit -> Explore.t list
+(** Explore the named applications in registry order ([apps = []] means
+    the whole registry). Unknown names are warned about on stderr and
+    skipped. *)
+
+val stable : Explore.t list -> bool
+(** Every exploration passed the oracle. *)
+
+val to_string : Explore.t list -> string
+(** Summary table over all explored applications. *)
+
+val divergences_string : Explore.t list -> string
+(** One block per oracle violation: the schedule, its policy and seed,
+    the observed-but-unreported pairs, any determinism disagreement and
+    the dumped fixture paths. Empty string when stable. *)
+
+val bug_table_string : Explore.t list -> string
+(** Per ground-truth bug: schedules where HawkSet reported it vs
+    schedules that directly observed it. *)
+
+val manifest : Explore.t list -> Obs.Manifest.t
+(** {!Explore.manifest} of the sweep. *)

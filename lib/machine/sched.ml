@@ -4,6 +4,7 @@ type policy =
   | Delay_injection of { probability : float; duration : int }
   | Targeted_delay of { store_loc : string; duration : int }
   | Scripted of int array
+  | Pct of { depth : int }
 
 type outcome = Completed | Crashed
 
@@ -11,6 +12,11 @@ type observation = {
   obs_store_site : Trace.Site.t;
   obs_load_site : Trace.Site.t;
   obs_addr : int;
+  obs_racy : bool;
+      (* no instrumented lock was held by both the storing thread (at
+         store time) and the loading thread (at load time) — i.e. the
+         pair is concurrent under Definition 1 and in scope for the
+         lockset analysis, not just for observation-based detection *)
 }
 
 type report = {
@@ -32,6 +38,7 @@ let obs_switches = Obs.Registry.counter "sched.context_switches"
 let obs_delays = Obs.Registry.counter "sched.delays_injected"
 let obs_spawned = Obs.Registry.counter "sched.threads_spawned"
 let obs_machine_runs = Obs.Registry.counter "sched.machine_runs"
+let obs_pct_changes = Obs.Registry.counter "sched.pct_priority_changes"
 
 let obs_runnable =
   Obs.Registry.histogram ~bounds:[| 1; 2; 4; 8; 16; 32 |] "sched.runnable"
@@ -48,6 +55,10 @@ type thread = {
   mutable delay : int;
   mutable joiners : int list;
   mutable frames : string list;
+  mutable priority : int; (* PCT priority; drawn at spawn under [Pct] *)
+  mutable held_locks : Trace.Lock_id.t list;
+      (* instrumented locks currently held; mirrors what the lockset
+         analysis will compute for this thread at the same point *)
 }
 
 type t = {
@@ -68,9 +79,15 @@ type t = {
   mutable crashed : bool;
   mutable failure : exn option;
   mutable next_lock_id : int;
+  (* PCT state: change points remaining, and the next (decreasing)
+     priority a demoted thread receives — always below every initial
+     priority, so a demotion is permanent until the run ends. *)
+  mutable pct_changes_left : int;
+  mutable pct_low : int;
   observe : bool;
-  last_store : (int, Trace.Tid.t * Trace.Site.t) Hashtbl.t; (* word index *)
-  obs_seen : (string * string, unit) Hashtbl.t;
+  last_store : (int, Trace.Tid.t * Trace.Site.t * Trace.Lock_id.t list) Hashtbl.t;
+  (* word index -> last writer, its site, and its lockset at store time *)
+  obs_seen : (string * string * bool, unit) Hashtbl.t;
   mutable observations : observation list;
 }
 
@@ -94,6 +111,13 @@ let add_thread m thunk =
       delay = 0;
       joiners = [];
       frames = [];
+      (* Under PCT every thread draws a random (high, positive) initial
+         priority at spawn; other policies never read the field. *)
+      priority =
+        (match m.policy with
+        | Pct _ -> 1 + Prng.int m.prng 0x3FFFFFFF
+        | _ -> 0);
+      held_locks = [];
     }
   in
   if m.nthreads = Array.length m.threads then begin
@@ -114,6 +138,18 @@ let eligible m =
       out := th :: !out
   done;
   !out
+
+(* Highest PCT priority wins; ties (only possible after an improbable
+   equal draw) go to the lowest tid, keeping the pick deterministic. *)
+let pct_top pool =
+  List.fold_left
+    (fun best th ->
+      if
+        th.priority > best.priority
+        || (th.priority = best.priority && th.t_tid < best.t_tid)
+      then th
+      else best)
+    (List.hd pool) (List.tl pool)
 
 let pick_next m =
   match eligible m with
@@ -142,6 +178,27 @@ let pick_next m =
             else 0
           in
           Some (List.nth pool (abs pick))
+      | Pct _ ->
+          (* PCT (Burckhardt et al.): run the highest-priority runnable
+             thread; at up to [depth - 1] randomly placed change points,
+             permanently demote the current top below everyone else. Two
+             deviations from strict PCT keep the cooperative machine
+             live: the change points are geometric (one chance in 64 per
+             decision while budget remains) rather than pre-drawn event
+             indices, and one decision in 16 picks uniformly instead of
+             by priority — without that escape hatch a top-priority
+             thread spinning on a yield-loop lock held by a demoted
+             thread would spin forever. *)
+          if m.pct_changes_left > 0 && Prng.int m.prng 64 = 0 then begin
+            m.pct_changes_left <- m.pct_changes_left - 1;
+            let top = pct_top pool in
+            top.priority <- m.pct_low;
+            m.pct_low <- m.pct_low - 1;
+            Obs.Metric.incr obs_pct_changes
+          end;
+          if Prng.int m.prng 16 = 0 then
+            Some (List.nth pool (Prng.int m.prng (List.length pool)))
+          else Some (pct_top pool)
       | Random_interleave | Delay_injection _ | Targeted_delay _ ->
           Some (List.nth pool (Prng.int m.prng (List.length pool))))
 
@@ -287,27 +344,46 @@ let maybe_delay ctx st =
         Obs.Metric.incr obs_delays;
         ctx.self.delay <- duration
       end
-  | Random_interleave | Round_robin | Scripted _ -> ()
+  | Random_interleave | Round_robin | Scripted _ | Pct _ -> ()
 
 let record_store_words ctx ~addr ~size ~site:st =
   if ctx.m.observe then
+    let held = ctx.self.held_locks in
     Pmem.Layout.iter_words addr size (fun w ->
-        Hashtbl.replace ctx.m.last_store w (tid ctx, st))
+        Hashtbl.replace ctx.m.last_store w (tid ctx, st, held))
 
-let check_observation ctx ~addr ~size ~site:load_site =
+let check_observation ?(rmw = false) ctx ~addr ~size ~site:load_site =
   if ctx.m.observe then
     let me = tid ctx in
     Pmem.Layout.iter_words addr size (fun w ->
         match Hashtbl.find_opt ctx.m.last_store w with
-        | Some (writer, store_site) when not (Trace.Tid.equal writer me) ->
+        | Some (writer, store_site, store_locks)
+          when not (Trace.Tid.equal writer me) ->
             if
               not
                 (Pmem.Heap.persisted_range ctx.m.heap
                    ~addr:(w * Pmem.Layout.word_size)
                    ~size:Pmem.Layout.word_size)
             then begin
+              (* A common instrumented lock means the pair is ordered
+                 under Definition 1: still an inter-thread unpersisted
+                 read (observation-based detectors flag it), but out of
+                 scope for the lockset analysis. A successful CAS
+                 ([rmw]) is likewise out of scope: its read closes the
+                 store's window itself, with a vector clock equal to
+                 the load's, so Algorithm 1's clock comparison cannot
+                 place the read inside the window. *)
+              let racy =
+                (not rmw)
+                && not
+                     (List.exists
+                        (fun l -> List.mem l ctx.self.held_locks)
+                        store_locks)
+              in
               let key =
-                (Trace.Site.location store_site, Trace.Site.location load_site)
+                ( Trace.Site.location store_site,
+                  Trace.Site.location load_site,
+                  racy )
               in
               if not (Hashtbl.mem ctx.m.obs_seen key) then begin
                 Hashtbl.add ctx.m.obs_seen key ();
@@ -316,6 +392,7 @@ let check_observation ctx ~addr ~size ~site:load_site =
                     obs_store_site = store_site;
                     obs_load_site = load_site;
                     obs_addr = w * Pmem.Layout.word_size;
+                    obs_racy = racy;
                   }
                   :: ctx.m.observations
               end
@@ -376,10 +453,10 @@ let load_bytes ctx p addr len =
 let cas_i64 ctx p addr ~expected ~desired =
   check_crash ctx.m;
   let st = site ctx p in
-  check_observation ctx ~addr ~size:8 ~site:st;
   let current = Pmem.Heap.read_i64 ctx.m.heap addr in
-  emit ctx (Trace.Event.Load { tid = tid ctx; addr; size = 8; site = st });
   let success = Int64.equal current expected in
+  check_observation ctx ~rmw:success ~addr ~size:8 ~site:st;
+  emit ctx (Trace.Event.Load { tid = tid ctx; addr; size = 8; site = st });
   if success then begin
     Pmem.Heap.write_i64 ctx.m.heap addr desired;
     Pmem.Heap.note_store ctx.m.heap ~tid:(tid ctx) ~addr ~size:8
@@ -443,9 +520,11 @@ let fresh_lock_id ctx =
    thread could atomically re-acquire and starve everyone else. *)
 let emit_acquire ctx p ~primitive lock =
   check_crash ctx.m;
-  if Sync_config.is_instrumented ctx.m.sync_config primitive then
+  if Sync_config.is_instrumented ctx.m.sync_config primitive then begin
+    ctx.self.held_locks <- lock :: ctx.self.held_locks;
     emit ctx
-      (Trace.Event.Lock_acquire { tid = tid ctx; lock; site = site ctx p });
+      (Trace.Event.Lock_acquire { tid = tid ctx; lock; site = site ctx p })
+  end;
   sched_point ctx
 
 (* Unlike acquisition, releasing must NOT yield between the event and the
@@ -455,9 +534,17 @@ let emit_acquire ctx p ~primitive lock =
    thread deterministically. *)
 let emit_release ctx p ~primitive lock =
   check_crash ctx.m;
-  if Sync_config.is_instrumented ctx.m.sync_config primitive then
+  if Sync_config.is_instrumented ctx.m.sync_config primitive then begin
+    (* drop one occurrence — reentrant acquires stack *)
+    let rec drop = function
+      | [] -> []
+      | l :: rest ->
+          if Trace.Lock_id.equal l lock then rest else l :: drop rest
+    in
+    ctx.self.held_locks <- drop ctx.self.held_locks;
     emit ctx
       (Trace.Event.Lock_release { tid = tid ctx; lock; site = site ctx p })
+  end
 
 let park _ctx = Effect.perform Park_self
 
@@ -495,6 +582,9 @@ let run ?(seed = 0) ?(policy = Random_interleave)
       crashed = false;
       failure = None;
       next_lock_id = 0;
+      pct_changes_left =
+        (match policy with Pct { depth } -> max 0 (depth - 1) | _ -> 0);
+      pct_low = -1;
       observe;
       last_store = Hashtbl.create (if observe then 4096 else 1);
       obs_seen = Hashtbl.create 64;

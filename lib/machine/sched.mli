@@ -41,6 +41,18 @@ type policy =
           (first runnable once the script is exhausted). Enumerating
           scripts enumerates interleavings — used to exhibit concrete
           witness schedules for reported races. *)
+  | Pct of { depth : int }
+      (** Probabilistic concurrency testing (PCT): every thread draws a
+          random priority at spawn and the scheduler runs the
+          highest-priority runnable thread, demoting the current top
+          below everyone else at up to [depth - 1] randomly placed
+          change points — biased towards the rare orderings a uniform
+          random walk almost never produces. Change points are placed
+          geometrically (one chance in 64 per decision) rather than at
+          pre-drawn event indices, and one decision in 16 falls back to
+          a uniform pick so threads spinning on a yield-loop lock held
+          by a demoted thread cannot starve it forever. Like every
+          policy, the schedule is a pure function of the seed. *)
 
 type outcome =
   | Completed
@@ -53,6 +65,17 @@ type observation = {
   obs_store_site : Trace.Site.t;
   obs_load_site : Trace.Site.t;
   obs_addr : int;
+  obs_racy : bool;
+      (** [true] when the read is in scope for the lockset analysis:
+          no instrumented lock was held by both the storing thread (at
+          store time) and the loading thread (at load time), and the
+          read is not a successful CAS. Such observations are
+          concurrent under Definition 1 and must also be found by the
+          lockset analysis. [false] marks the two exclusions visible
+          only to observation-based detection: a common lock orders
+          the pair, and a successful CAS's read closes the store's
+          window itself, with a vector clock equal to the load's, so
+          Algorithm 1's clock comparison prunes it. *)
 }
 
 type report = {

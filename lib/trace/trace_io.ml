@@ -141,6 +141,14 @@ let fnv1a_string h s =
     s;
   Int64.mul (Int64.logxor !h 0x0aL) fnv_prime (* the trailing '\n' *)
 
+(* The same hash the trailer records, computed in memory: a 16-hex-digit
+   schedule signature. Two traces fingerprint equal iff their canonical
+   serializations are byte-identical. *)
+let fingerprint trace =
+  let hash = ref fnv_offset in
+  Tracebuf.iter (fun ev -> hash := fnv1a_string !hash (event_to_line ev)) trace;
+  Printf.sprintf "%016Lx" !hash
+
 let trailer_tag = "# trailer "
 
 let trailer_line ~events ~hash =

@@ -67,3 +67,9 @@ val load_tolerant : string -> tolerant
 val event_to_line : Event.t -> string
 val event_of_line : string -> Event.t
 (** Raises {!Parse_error} (with line number 0). *)
+
+val fingerprint : Tracebuf.t -> string
+(** The trailer's FNV-1a hash as 16 hex digits, computed without
+    serializing to disk. Equal iff the canonical serializations are
+    byte-identical — a compact schedule signature for interleaving
+    exploration. *)

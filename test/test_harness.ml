@@ -275,11 +275,75 @@ module Stats_tests = struct
     ]
 end
 
+module Explore_jobs_tests = struct
+  (* The schedule sweep extends the counter byte-identity contract: the
+     same exploration sharded over 4 worker domains must reach the same
+     verdict, the same per-schedule rows and the same deterministic
+     counter snapshot as the sequential run — byte for byte once
+     serialized ([jobs] itself is a manifest label, not a counter). *)
+  let jobs_differential () =
+    let explore jobs =
+      let config =
+        { Explore.default_config with Explore.schedules = 6; ops = 120; jobs }
+      in
+      Harness.Explore_sweep.run ~config ~apps:[ "fast-fair"; "madfs" ] ()
+    in
+    let t1 = explore 1 and t4 = explore 4 in
+    Alcotest.(check bool) "same stability verdict"
+      (Harness.Explore_sweep.stable t1)
+      (Harness.Explore_sweep.stable t4);
+    List.iter2
+      (fun (a : Explore.t) (b : Explore.t) ->
+        Alcotest.(check string) "same app" a.Explore.x_app b.Explore.x_app;
+        Alcotest.(check bool)
+          (a.Explore.x_app ^ ": identical schedule rows") true
+          (a.Explore.x_results = b.Explore.x_results);
+        Alcotest.(check bool)
+          (a.Explore.x_app ^ ": identical baseline") true
+          (a.Explore.x_baseline = b.Explore.x_baseline))
+      t1 t4;
+    Alcotest.(check (list (pair string int)))
+      "same coverage counters"
+      (Explore.counters t1) (Explore.counters t4);
+    Alcotest.(check string)
+      "manifest counters byte-identical across jobs=1 and jobs=4"
+      (Obs.Manifest.counters_json (Harness.Explore_sweep.manifest t1))
+      (Obs.Manifest.counters_json (Harness.Explore_sweep.manifest t4));
+    Alcotest.(check (option string))
+      "jobs label recorded" (Some "4")
+      (Obs.Manifest.label (Harness.Explore_sweep.manifest t4) "jobs")
+
+  let summary_renders () =
+    let config =
+      { Explore.default_config with Explore.schedules = 4; ops = 120 }
+    in
+    let ts = Harness.Explore_sweep.run ~config ~apps:[ "fast-fair" ] () in
+    let s = Harness.Explore_sweep.to_string ts in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) ("summary has " ^ needle) true
+          (Stats_tests.contains ~needle s))
+      [ "Schedule stability"; "fast-fair"; "stable" ];
+    let b = Harness.Explore_sweep.bug_table_string ts in
+    Alcotest.(check bool) "bug table has fast-fair bug row" true
+      (Stats_tests.contains ~needle:"#1" b);
+    Alcotest.(check string) "no divergence text when stable" ""
+      (Harness.Explore_sweep.divergences_string ts)
+
+  let tests =
+    [
+      Alcotest.test_case "explore jobs=4, same rows and counters" `Slow
+        jobs_differential;
+      Alcotest.test_case "explore summary renders" `Slow summary_renders;
+    ]
+end
+
 let () =
   Alcotest.run "harness"
     [
       ("metrics", Metric_tests.tests);
       ("tables", Tables_tests.tests);
       ("stats", Stats_tests.tests);
+      ("explore", Explore_jobs_tests.tests);
       ("experiments", Experiment_tests.tests);
     ]

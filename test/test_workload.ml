@@ -189,10 +189,166 @@ module Seeds_tests = struct
     ]
 end
 
+module Statistical_tests = struct
+  (* Distribution-shape tests at fixed seeds: the samplers must not just
+     stay in bounds, they must follow the distribution the paper's
+     workloads assume — empirical frequencies within tolerance of the
+     analytic values. Seeds are pinned, so these are deterministic. *)
+
+  let zipf_frequencies ?theta n samples seed =
+    let z = Workload.Zipf.create ?theta n in
+    let prng = Machine.Prng.create seed in
+    let counts = Array.make n 0 in
+    for _ = 1 to samples do
+      let v = Workload.Zipf.sample z prng in
+      counts.(v) <- counts.(v) + 1
+    done;
+    Array.map (fun c -> float_of_int c /. float_of_int samples) counts
+
+  (* Empirical head probabilities vs the analytic zipfian pmf
+     p(k) = k^-theta / H: within 15% relative error on the heavy ranks
+     at 50k samples. *)
+  let matches_pmf () =
+    let n = 50 and theta = 0.99 and samples = 50_000 in
+    let freq = zipf_frequencies ~theta n samples 11 in
+    let h =
+      let acc = ref 0.0 in
+      for k = 1 to n do
+        acc := !acc +. (1.0 /. (float_of_int k ** theta))
+      done;
+      !acc
+    in
+    List.iter
+      (fun rank ->
+        let expected = 1.0 /. (float_of_int (rank + 1) ** theta) /. h in
+        let got = freq.(rank) in
+        Alcotest.(check bool)
+          (Printf.sprintf "rank %d: %.4f within 15%% of %.4f" rank got expected)
+          true
+          (abs_float (got -. expected) <= 0.15 *. expected))
+      [ 0; 1; 2; 4; 9 ]
+
+  (* More skew concentrates more mass on the head, monotonically in
+     theta. *)
+  let theta_orders_head_mass () =
+    let head theta =
+      let freq = zipf_frequencies ~theta 100 20_000 12 in
+      freq.(0) +. freq.(1) +. freq.(2)
+    in
+    let flat = head 0.5 and paper = head 0.99 and steep = head 1.3 in
+    Alcotest.(check bool)
+      (Printf.sprintf "head mass grows with theta (%.3f < %.3f < %.3f)" flat
+         paper steep)
+      true
+      (flat < paper && paper < steep)
+
+  (* The memcached mix: ten op kinds drawn uniformly, so each should hold
+     ~10% of the main phase at a fixed seed (load phase excluded). *)
+  let memcached_mix_uniform () =
+    let ops = 10_000 and threads = 8 in
+    let mix = Workload.Ycsb.memcached_mix ~seed:13 ~ops ~threads in
+    let counts = Hashtbl.create 16 in
+    let bump k =
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+    in
+    Array.iteri
+      (fun t l ->
+        (* Thread 0 carries the 1000-set load phase prepended to its main
+           ops; skip it so only the uniform mix is counted. *)
+        let l = if t = 0 then List.filteri (fun i _ -> i >= 1000) l else l in
+        List.iter
+          (fun (op : Workload.Op.mc) ->
+            bump
+              (match op with
+              | Workload.Op.Mc_set _ -> "set"
+              | Workload.Op.Mc_get _ -> "get"
+              | Workload.Op.Mc_add _ -> "add"
+              | Workload.Op.Mc_replace _ -> "replace"
+              | Workload.Op.Mc_append _ -> "append"
+              | Workload.Op.Mc_prepend _ -> "prepend"
+              | Workload.Op.Mc_cas _ -> "cas"
+              | Workload.Op.Mc_delete _ -> "delete"
+              | Workload.Op.Mc_incr _ -> "incr"
+              | Workload.Op.Mc_decr _ -> "decr"))
+          l)
+      mix;
+    let total = Hashtbl.fold (fun _ c acc -> acc + c) counts 0 in
+    Alcotest.(check int) "main phase total" ops total;
+    Hashtbl.iter
+      (fun kind c ->
+        let pct = 100.0 *. float_of_int c /. float_of_int total in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %.1f%% within 10±2.5%%" kind pct)
+          true
+          (abs_float (pct -. 10.0) <= 2.5))
+      counts
+
+  (* The MadFS mix advertises 80% writes at zipfian offsets. *)
+  let madfs_mix_proportions () =
+    let fs =
+      Workload.Ycsb.madfs_mix ~seed:14 ~ops:10_000 ~threads:8 ~file_blocks:64
+    in
+    let writes = ref 0 and total = ref 0 and block0 = ref 0 in
+    Array.iter
+      (List.iter (fun (op : Workload.Op.fs) ->
+           incr total;
+           match op with
+           | Workload.Op.Fs_write (off, _) ->
+               incr writes;
+               if off = 0 then incr block0
+           | Workload.Op.Fs_read (off, _) -> if off = 0 then incr block0))
+      fs;
+    let write_pct = 100.0 *. float_of_int !writes /. float_of_int !total in
+    Alcotest.(check bool)
+      (Printf.sprintf "%.1f%% writes within 80±3%%" write_pct)
+      true
+      (abs_float (write_pct -. 80.0) <= 3.0);
+    (* Zipfian offsets: the rank-1 block draws far more than the uniform
+       1/64 share (~1.56%). *)
+    let block0_pct = 100.0 *. float_of_int !block0 /. float_of_int !total in
+    Alcotest.(check bool)
+      (Printf.sprintf "block 0 hot (%.1f%% > 10%%)" block0_pct)
+      true (block0_pct > 10.0)
+
+  (* The YCSB kv mix at a fixed seed, tighter than the smoke test: each
+     class within ±2% of its nominal share at 20k ops. *)
+  let kv_mix_tight () =
+    let ops = 20_000 in
+    let w = Workload.Ycsb.generate ~seed:15 (Workload.Ycsb.paper_mix ~ops) in
+    let i = ref 0 and u = ref 0 and g = ref 0 and d = ref 0 in
+    Array.iter
+      (List.iter (fun op ->
+           match op with
+           | Workload.Op.Insert _ -> incr i
+           | Workload.Op.Update _ -> incr u
+           | Workload.Op.Get _ -> incr g
+           | Workload.Op.Delete _ -> incr d))
+      w.Workload.Ycsb.per_thread;
+    let pct n = 100.0 *. float_of_int n /. float_of_int ops in
+    List.iter
+      (fun (name, count, nominal) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %.1f%% within %g±2%%" name (pct count) nominal)
+          true
+          (abs_float (pct count -. nominal) <= 2.0))
+      [ ("insert", !i, 30.0); ("update", !u, 30.0); ("get", !g, 30.0);
+        ("delete", !d, 10.0) ]
+
+  let tests =
+    [
+      Alcotest.test_case "zipf matches pmf" `Quick matches_pmf;
+      Alcotest.test_case "theta orders head mass" `Quick theta_orders_head_mass;
+      Alcotest.test_case "memcached mix uniform" `Quick memcached_mix_uniform;
+      Alcotest.test_case "madfs mix proportions" `Quick madfs_mix_proportions;
+      Alcotest.test_case "kv mix tight" `Quick kv_mix_tight;
+    ]
+end
+
 let () =
   Alcotest.run "workload"
     [
       ("zipf", Zipf_tests.tests);
       ("ycsb", Ycsb_tests.tests);
+      ("statistics", Statistical_tests.tests);
       ("seeds", Seeds_tests.tests);
     ]
