@@ -501,6 +501,73 @@ let crash_sweep ~full =
     (Trace.Tracebuf.length trace)
     withfail.Hawkset.Analysis.pairs
 
+(* ---- supervised batch (the `batch-smoke` target) ----
+   The durability contract, in-process: the same declared job set — with
+   every fault class injected — run (i) uninterrupted, (ii) killed after
+   two jobs and resumed from the journal. The merged reports must be
+   byte-identical and the degradation table must show each injected class
+   classified and bounded. *)
+
+let batch_smoke ~full =
+  let ops = if full then 1_200 else 300 in
+  let jobs =
+    match
+      Supervise.jobs_of
+        ~apps:[ "fast-fair"; "p-clht" ]
+        ~seeds:[ 42; 43 ] ~policies:[ "round-robin" ] ~ops
+    with
+    | Ok js -> js
+    | Error msg -> failwith msg
+  in
+  let fault j cls times = { Supervise.f_job = j; f_class = cls; f_times = times } in
+  let config =
+    {
+      Supervise.default_config with
+      Supervise.backoff_ms = 0;
+      faults =
+        [
+          fault 0 Supervise.Corrupt_trace 1;
+          fault 1 Supervise.Timeout 1;
+          fault 2 Supervise.Oom 1;
+          fault 3 Supervise.Worker_lost 99;
+        ];
+    }
+  in
+  let golden = Supervise.run ~config jobs in
+  let journal = Filename.temp_file "hawkset_batch" ".jnl" in
+  let killed =
+    Supervise.run ~journal
+      ~config:{ config with Supervise.stop_after = Some 2 }
+      jobs
+  in
+  assert killed.Supervise.b_interrupted;
+  let resumed = Supervise.run ~journal ~resume:true ~config jobs in
+  Sys.remove journal;
+  print_string (Harness.Batch.degradation_table resumed);
+  print_endline (Harness.Batch.summary_line resumed);
+  if Supervise.merged_json golden <> Supervise.merged_json resumed then
+    failwith "batch-smoke: resumed merged report differs from golden run";
+  assert (List.exists (fun jr -> jr.Supervise.jr_replayed) resumed.Supervise.b_results);
+  let status i (b : Supervise.batch) =
+    Supervise.status_string (List.nth b.Supervise.b_results i).Supervise.jr_status
+  in
+  assert (status 0 resumed = "ok-retried");
+  assert (status 1 resumed = "ok-retried");
+  assert (status 2 resumed = "ok-sequential");
+  assert (status 3 resumed = "failed");
+  let counters = Supervise.counters resumed in
+  let c name = Option.value ~default:0 (List.assoc_opt name counters) in
+  assert (c "supervise.failures.corrupt_trace" = 1);
+  assert (c "supervise.failures.timeout" = 1);
+  assert (c "supervise.failures.oom" = 1);
+  (* The worker-lost job is bounded: exactly [attempts] tries, no more. *)
+  assert (c "supervise.failures.worker_lost" = config.Supervise.attempts);
+  Printf.printf
+    "batch-smoke: kill+resume merged report byte-identical (%d jobs, %d \
+     replayed)\n"
+    (List.length resumed.Supervise.b_results)
+    (c "supervise.replayed")
+
 (* ---- pipeline perf-trajectory emitter (BENCH_pipeline.json) ----
    One instrumented fast-fair run per workload size: per-stage seconds,
    peak live heap and the deterministic counter snapshot, machine-readable
@@ -565,7 +632,7 @@ let () =
     List.exists wants
       [ "table1"; "table2"; "table3"; "table4"; "figure6"; "ablation";
         "micro"; "par"; "json"; "--json"; "crash-sweep"; "perf-smoke";
-        "explore" ]
+        "explore"; "batch-smoke" ]
   in
   let run name f = if (not any) || wants name then f ~full in
   run "table1" table1;
@@ -581,6 +648,9 @@ let () =
   if wants "explore" then explore_smoke ~full;
   (* `perf-smoke` is opt-in only: the CI regression gate. *)
   if wants "perf-smoke" then perf_smoke ~full;
+  (* `batch-smoke` is opt-in only: it runs the pipeline once per job,
+     twice over (golden + kill/resume). *)
+  if wants "batch-smoke" then batch_smoke ~full;
   (* `par` and `json` (or `--json`) are opt-in only: they are not part of
      the default everything-run because they re-execute instrumented
      workloads. `par` prints the jobs sweep and records it in

@@ -2,9 +2,15 @@
 
    Subcommands:
      run         run one application under a detector and print reports
+     batch       run a declared job set under supervision (retry, resume)
      list-apps   show the registered applications (Table 1)
      table2/table3/table4/figure6/ablation
-                 regenerate the paper's tables and figures *)
+                 regenerate the paper's tables and figures
+
+   Exit codes (documented in the README): 0 success; 1 usage error or
+   oracle violation; 2 damaged input trace; 3 degraded results (truncated
+   analysis without --allow-truncated, or a batch with failed/quarantined
+   jobs); 10 batch stopped by --kill-after (resumable). *)
 
 open Cmdliner
 
@@ -76,6 +82,45 @@ let jobs_arg =
           "Analysis domains for stage 3 (default $(b,\\$HAWKSET_JOBS) or 1). \
            Race reports and deterministic counters are bit-identical for \
            every $(docv); only wall-clock time changes.")
+
+let event_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "event-budget" ] ~docv:"N"
+        ~doc:
+          "Analyse at most the first $(docv) trace events — a deterministic \
+           cut, recorded as a truncation (and exiting 3 unless \
+           $(b,--allow-truncated)).")
+
+let allow_truncated_arg =
+  Arg.(
+    value & flag
+    & info [ "allow-truncated" ]
+        ~doc:
+          "Exit 0 even when the analysis was truncated (event budget or \
+           deadline hit, shards skipped). Without this flag a truncated \
+           result exits 3 so scripted callers cannot mistake a partial \
+           report for a complete one.")
+
+(* Exit-code contract: a truncated analysis is a degraded result, not a
+   clean success. Runs after stats/timeline emission so the partial
+   report is still fully observable. *)
+let check_truncated ~allow truncated =
+  if truncated <> [] && not allow then begin
+    List.iter
+      (fun (t : Hawkset.Pipeline.truncation) ->
+        Format.eprintf "hawkset: truncated: %s by %s (%d/%d)@."
+          t.Hawkset.Pipeline.trunc_stage t.Hawkset.Pipeline.trunc_reason
+          t.Hawkset.Pipeline.trunc_done t.Hawkset.Pipeline.trunc_total)
+      truncated;
+    Format.eprintf
+      "hawkset: analysis truncated (%d record%s); pass --allow-truncated to \
+       accept partial results@."
+      (List.length truncated)
+      (if List.length truncated = 1 then "" else "s");
+    exit 3
+  end
 
 (* --- observability flags --------------------------------------------- *)
 
@@ -204,7 +249,7 @@ let classify_races entry races =
 
 let run_cmd =
   let run () app ops seed detector no_irh eadr jobs json stats stats_json
-      trace_out =
+      trace_out event_budget allow_truncated =
     match Pmapps.Registry.find app with
     | None ->
         Format.eprintf "unknown application %S (try list-apps)@." app;
@@ -250,7 +295,8 @@ let run_cmd =
                     Obs.Registry.global))
         | `Hawkset ->
             let config =
-              { Hawkset.Pipeline.default with irh = not no_irh; eadr; jobs }
+              { Hawkset.Pipeline.default with irh = not no_irh; eadr; jobs;
+                event_budget }
             in
             let r = Harness.Stats.instrumented_run ~config ~entry ~seed ~ops () in
             let races = r.Harness.Stats.pipeline.Hawkset.Pipeline.races in
@@ -263,7 +309,9 @@ let run_cmd =
               classify_races entry races
             end;
             emit_stats ~stats ~stats_json
-              (finish_timeline trace_out r.Harness.Stats.manifest)
+              (finish_timeline trace_out r.Harness.Stats.manifest);
+            check_truncated ~allow:allow_truncated
+              r.Harness.Stats.pipeline.Hawkset.Pipeline.truncated
         | `Eraser ->
             Obs.Registry.reset Obs.Registry.global;
             let (report, races), peak_mb =
@@ -301,7 +349,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one application under a detector.")
     Term.(const run $ logging_term $ app_arg $ ops_arg 1000 $ seed_arg
           $ detector_arg $ no_irh_arg $ eadr_arg $ jobs_arg $ json_arg
-          $ stats_arg $ stats_json_arg $ trace_out_arg)
+          $ stats_arg $ stats_json_arg $ trace_out_arg $ event_budget_arg
+          $ allow_truncated_arg)
 
 let list_cmd =
   let list () =
@@ -351,7 +400,7 @@ let trace_cmd =
 
 let analyze_cmd =
   let go () file tolerant no_irh eadr jobs eraser json stats stats_json
-      trace_out =
+      trace_out event_budget allow_truncated =
     start_timeline trace_out;
     let trace =
       if not tolerant then load_trace file
@@ -375,7 +424,7 @@ let analyze_cmd =
         ("events", string_of_int (Trace.Tracebuf.length trace)) ]
       @ (if detector = "hawkset" then [ ("jobs", string_of_int jobs) ] else [])
     in
-    let races, manifest =
+    let races, manifest, truncated =
       if eraser then begin
         Obs.Registry.reset Obs.Registry.global;
         let races, peak_mb =
@@ -390,11 +439,13 @@ let analyze_cmd =
                 ("peak_live_mb", peak_mb);
                 ("final_live_mb", Harness.Metrics.final_live_mb ());
               ]
-            Obs.Registry.global )
+            Obs.Registry.global,
+          [] )
       end
       else
         let config =
-          { Hawkset.Pipeline.default with irh = not no_irh; eadr; jobs }
+          { Hawkset.Pipeline.default with irh = not no_irh; eadr; jobs;
+            event_budget }
         in
         let res, peak_mb =
           Harness.Metrics.with_live_mb (fun () ->
@@ -410,7 +461,8 @@ let analyze_cmd =
                 ("peak_live_mb", peak_mb);
                 ("final_live_mb", Harness.Metrics.final_live_mb ());
               ]
-            res )
+            res,
+          res.Hawkset.Pipeline.truncated )
     in
     if json then print_endline (Hawkset.Report.to_json races)
     else begin
@@ -420,7 +472,8 @@ let analyze_cmd =
         (Trace.Tracebuf.stats trace);
       Format.printf "%a@." Hawkset.Report.pp races
     end;
-    emit_stats ~stats ~stats_json (finish_timeline trace_out manifest)
+    emit_stats ~stats ~stats_json (finish_timeline trace_out manifest);
+    check_truncated ~allow:allow_truncated truncated
   in
   let file =
     Arg.(
@@ -455,7 +508,7 @@ let analyze_cmd =
          "Analyse a saved trace — the application-agnostic offline workflow:           the analyser knows nothing about what produced the events.")
     Term.(const go $ logging_term $ file $ tolerant $ no_irh_arg $ eadr
           $ jobs_arg $ eraser $ json_arg $ stats_arg $ stats_json_arg
-          $ trace_out_arg)
+          $ trace_out_arg $ event_budget_arg $ allow_truncated_arg)
 
 let explain_cmd =
   let go () app ops seed no_irh eadr jobs json =
@@ -756,6 +809,210 @@ let explore_cmd =
           $ seed_arg $ ops_arg Explore.default_config.Explore.ops
           $ explore_trace_out $ stats_arg $ stats_json_arg)
 
+let batch_cmd =
+  let go () apps seed nseeds policies ops jobs attempts backoff_ms breaker
+      deadline_s max_heap_mb faults journal resume kill_after out json stats
+      stats_json =
+    if resume && journal = None then begin
+      Format.eprintf "batch: --resume needs --journal FILE@.";
+      exit 1
+    end;
+    let apps =
+      if apps <> [] then apps
+      else List.map (fun e -> e.Pmapps.Registry.reg_name) Pmapps.Registry.all
+    in
+    let seeds = List.init (max 1 nseeds) (fun i -> seed + i) in
+    let policies = if policies = [] then [ "round-robin" ] else policies in
+    let faults =
+      List.map
+        (fun s ->
+          match Supervise.fault_of_string s with
+          | Ok f -> f
+          | Error msg ->
+              Format.eprintf "batch: %s@." msg;
+              exit 1)
+        faults
+    in
+    let config =
+      {
+        Supervise.default_config with
+        Supervise.attempts;
+        backoff_ms;
+        breaker_threshold = breaker;
+        pipeline_jobs = jobs;
+        deadline_s;
+        max_heap_mb;
+        faults;
+        stop_after = kill_after;
+      }
+    in
+    match Supervise.jobs_of ~apps ~seeds ~policies ~ops with
+    | Error msg ->
+        Format.eprintf "batch: %s@." msg;
+        exit 1
+    | Ok declared -> (
+        Obs.Registry.reset Obs.Registry.global;
+        let b =
+          try Supervise.run ?journal ~resume ~config declared with
+          | Supervise.Resume_mismatch { expected; found } ->
+              Format.eprintf
+                "batch: journal records a different batch declaration \
+                 (journal %s, declared %s); rerun without --resume to start \
+                 over@."
+                (Option.value found ~default:"<no batch record>")
+                expected;
+              exit 1
+          | Invalid_argument msg ->
+              Format.eprintf "batch: %s@." msg;
+              exit 1
+        in
+        (match out with
+        | Some file -> (
+            try
+              let oc = open_out file in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  output_string oc (Supervise.merged_json b);
+                  output_char oc '\n');
+              Format.printf "wrote merged batch report to %s@." file
+            with Sys_error msg ->
+              Format.eprintf "cannot write merged batch report: %s@." msg;
+              exit 1)
+        | None -> ());
+        if json then print_endline (Supervise.merged_json b)
+        else begin
+          print_string (Harness.Batch.degradation_table b);
+          print_endline (Harness.Batch.summary_line b)
+        end;
+        emit_stats ~stats ~stats_json (Supervise.manifest b);
+        if b.Supervise.b_interrupted then begin
+          Format.eprintf
+            "batch: stopped by --kill-after with jobs remaining; resume with \
+             --journal %s --resume@."
+            (Option.value journal ~default:"FILE");
+          exit 10
+        end;
+        if Harness.Batch.failed b then exit 3)
+  in
+  let apps =
+    Arg.(
+      value & opt_all string []
+      & info [ "a"; "app" ] ~docv:"APP"
+          ~doc:"Application to include (repeatable). Default: all of them.")
+  in
+  let nseeds =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Consecutive seeds per app starting at $(b,--seed).")
+  in
+  let policies =
+    Arg.(
+      value & opt_all string []
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Scheduler policy per job (repeatable): $(b,round-robin), \
+             $(b,random), $(b,delay) or $(b,pct). Default: round-robin.")
+  in
+  let attempts =
+    Arg.(
+      value & opt int Supervise.default_config.Supervise.attempts
+      & info [ "attempts" ] ~docv:"N" ~doc:"Max attempts per job.")
+  in
+  let backoff_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "Base retry backoff; attempt $(i,k) waits $(docv)*2^(k-1) plus \
+             seeded jitter. 0 (the default) retries immediately.")
+  in
+  let breaker =
+    Arg.(
+      value & opt int Supervise.default_config.Supervise.breaker_threshold
+      & info [ "breaker" ] ~docv:"N"
+          ~doc:
+            "Circuit breaker: consecutive exhausted jobs of one application \
+             before its remaining jobs are quarantined.")
+  in
+  let deadline_s =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-s" ] ~docv:"SECONDS"
+          ~doc:"Per-attempt wall-clock budget (also the pipeline's \
+                cooperative stage deadline).")
+  in
+  let max_heap_mb =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-heap-mb" ] ~docv:"MB"
+          ~doc:"Per-attempt live-heap budget, enforced via a GC alarm.")
+  in
+  let faults =
+    Arg.(
+      value & opt_all string []
+      & info [ "inject" ] ~docv:"JOB:CLASS[:COUNT]"
+          ~doc:
+            "Chaos testing: make the first COUNT attempts (default 1) of job \
+             JOB fail with CLASS ($(b,timeout), $(b,oom), \
+             $(b,corrupt-trace), $(b,pipeline-exn) or $(b,worker-lost)). \
+             Repeatable.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append-only checksummed job journal: every attempt and every \
+             completed job's report bytes are recorded durably as the batch \
+             runs.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from $(b,--journal): jobs already terminal replay their \
+             recorded report bytes verbatim, partially-attempted jobs \
+             continue from their next attempt. The merged report is \
+             byte-identical to an uninterrupted run.")
+  in
+  let kill_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"N"
+          ~doc:
+            "Chaos testing: stop the batch after $(docv) jobs reach a \
+             terminal state and exit 10, leaving the journal behind for \
+             $(b,--resume).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the merged batch report JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a declared job set (apps \u{00d7} seeds \u{00d7} policies) \
+          under supervision: per-attempt deadlines and heap budgets, a \
+          five-class failure taxonomy, deterministic retry with exponential \
+          backoff, a per-application circuit breaker, and a durable journal \
+          that makes a killed batch resumable with a byte-identical merged \
+          report. Exits 3 if any job failed or was quarantined, 10 when \
+          stopped by $(b,--kill-after).")
+    Term.(const go $ logging_term $ apps $ seed_arg $ nseeds $ policies
+          $ ops_arg 400 $ jobs_arg $ attempts $ backoff_ms $ breaker
+          $ deadline_s $ max_heap_mb $ faults $ journal $ resume $ kill_after
+          $ out $ json_arg $ stats_arg $ stats_json_arg)
+
 let ablation_cmd =
   let go ops =
     print_string (Harness.Ablation.to_string (Harness.Ablation.run ~ops ()))
@@ -773,9 +1030,9 @@ let () =
   in
   let group =
     Cmd.group info
-      [ run_cmd; list_cmd; bugs_cmd; explain_cmd; trace_cmd; analyze_cmd;
-        explore_cmd; crash_sweep_cmd; table2_cmd; table3_cmd; table4_cmd;
-        figure6_cmd; ablation_cmd ]
+      [ run_cmd; batch_cmd; list_cmd; bugs_cmd; explain_cmd; trace_cmd;
+        analyze_cmd; explore_cmd; crash_sweep_cmd; table2_cmd; table3_cmd;
+        table4_cmd; figure6_cmd; ablation_cmd ]
   in
   (* [~catch:false] so damaged inputs reach this handler: a bad trace file
      is an input problem (exit 2, one-line diagnostic), not a crash. *)

@@ -12,39 +12,55 @@
    {!Par_analysis}'s warm memo tables) is only ever touched by one domain
    per call, without the pool knowing about it. *)
 
+exception Pool_closed
+
+exception Worker_lost of int
+
 type worker = {
   mutex : Mutex.t;
   cond : Condition.t;
   mutable task : (unit -> unit) option;
   mutable busy : bool;
   mutable stop : bool;
+  mutable dead : bool; (* the worker's loop exited abnormally *)
   mutable domain : unit Domain.t option; (* set right after spawn *)
 }
 
-type t = { lock : Mutex.t; mutable workers : worker array }
+type t = { lock : Mutex.t; mutable workers : worker array; mutable closed : bool }
 
 let worker_loop w () =
-  Mutex.lock w.mutex;
-  let rec loop () =
-    match w.task with
-    | Some f ->
-        w.task <- None;
-        Mutex.unlock w.mutex;
-        (* The task itself never raises: [map] wraps it in a catch-all
-           that stores the outcome. *)
-        f ();
-        Mutex.lock w.mutex;
-        w.busy <- false;
-        Condition.broadcast w.cond;
-        loop ()
-    | None ->
-        if w.stop then Mutex.unlock w.mutex
-        else begin
-          Condition.wait w.cond w.mutex;
+  try
+    Mutex.lock w.mutex;
+    let rec loop () =
+      match w.task with
+      | Some f ->
+          w.task <- None;
+          Mutex.unlock w.mutex;
+          (* The task itself never raises: [map] wraps it in a catch-all
+             that stores the outcome. *)
+          f ();
+          Mutex.lock w.mutex;
+          w.busy <- false;
+          Condition.broadcast w.cond;
           loop ()
-        end
-  in
-  loop ()
+      | None ->
+          if w.stop then Mutex.unlock w.mutex
+          else begin
+            Condition.wait w.cond w.mutex;
+            loop ()
+          end
+    in
+    loop ()
+  with _ ->
+    (* Watchdog path: tasks cannot raise here ([map] wraps them), so an
+       exception means the loop itself died. Mark the slot lost and wake
+       any joiner so [await] returns instead of hanging forever; [map]
+       then reports the loss as {!Worker_lost}. The unlocked writes are
+       single-writer (this domain is about to exit). *)
+    w.dead <- true;
+    w.busy <- false;
+    (try Condition.broadcast w.cond with _ -> ());
+    (try Mutex.unlock w.mutex with _ -> ())
 
 let spawn_worker () =
   let w =
@@ -54,6 +70,7 @@ let spawn_worker () =
       task = None;
       busy = false;
       stop = false;
+      dead = false;
       domain = None;
     }
   in
@@ -69,12 +86,12 @@ let submit w f =
 
 let await w =
   Mutex.lock w.mutex;
-  while w.busy do
+  while w.busy && not w.dead do
     Condition.wait w.cond w.mutex
   done;
   Mutex.unlock w.mutex
 
-let create () = { lock = Mutex.create (); workers = [||] }
+let create () = { lock = Mutex.create (); workers = [||]; closed = false }
 
 (* Optional per-task wrapper (installed e.g. by the harness to sample
    pool-domain heap peaks). Receives the task's slot index and a thunk it
@@ -103,6 +120,10 @@ let size t = Array.length t.workers
 
 let ensure t n =
   Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    raise Pool_closed
+  end;
   let have = Array.length t.workers in
   if n > have then begin
     let ws = Array.init n (fun i -> if i < have then t.workers.(i) else spawn_worker ()) in
@@ -112,17 +133,38 @@ let ensure t n =
 
 let map t fns =
   let n = Array.length fns in
-  if n = 0 then [||]
+  if n = 0 then begin
+    (* Even a no-op map on a closed pool is a caller bug worth surfacing. *)
+    if t.closed then raise Pool_closed;
+    [||]
+  end
   else begin
     (* Serialise whole [map] calls: workers hold no per-call state, so
        two concurrent callers would otherwise interleave submissions. *)
     Mutex.lock t.lock;
+    if t.closed then begin
+      Mutex.unlock t.lock;
+      raise Pool_closed
+    end;
     let have = Array.length t.workers in
     if n - 1 > have then begin
       t.workers <-
         Array.init (n - 1) (fun i ->
             if i < have then t.workers.(i) else spawn_worker ())
     end;
+    (* Self-heal slots lost in an earlier call: the previous [map]
+       already reported them as {!Worker_lost}; this call gets a fresh
+       domain instead of submitting to a corpse (which would hang). *)
+    for i = 0 to n - 2 do
+      if t.workers.(i).dead then begin
+        (match t.workers.(i).domain with
+        | Some d -> ( try Domain.join d with _ -> ())
+        | None -> ());
+        let ws = Array.copy t.workers in
+        ws.(i) <- spawn_worker ();
+        t.workers <- ws
+      end
+    done;
     let results = Array.make n (Error Not_found) in
     let run i () =
       results.(i) <- (try Ok (run_task i (fun () -> fns.(i) ())) with e -> Error e)
@@ -136,25 +178,40 @@ let map t fns =
     for i = 1 to n - 1 do
       await t.workers.(i - 1)
     done;
+    (* Watchdog: a worker that died mid-call produced no result — report
+       the loss rather than hand back [Error Not_found] silently. *)
+    let lost = ref (-1) in
+    for i = n - 2 downto 0 do
+      if t.workers.(i).dead then lost := i + 1
+    done;
     Mutex.unlock t.lock;
+    if !lost >= 0 then raise (Worker_lost !lost);
     results
   end
 
 let shutdown t =
   Mutex.lock t.lock;
-  let ws = t.workers in
-  t.workers <- [||];
-  Mutex.unlock t.lock;
-  Array.iter
-    (fun w ->
-      Mutex.lock w.mutex;
-      w.stop <- true;
-      Condition.broadcast w.cond;
-      Mutex.unlock w.mutex)
-    ws;
-  Array.iter
-    (fun w -> match w.domain with Some d -> Domain.join d | None -> ())
-    ws
+  if t.closed then begin
+    (* Idempotent: the first call joined everything already. *)
+    Mutex.unlock t.lock;
+    ()
+  end
+  else begin
+    t.closed <- true;
+    let ws = t.workers in
+    t.workers <- [||];
+    Mutex.unlock t.lock;
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mutex;
+        w.stop <- true;
+        Condition.broadcast w.cond;
+        Mutex.unlock w.mutex)
+      ws;
+    Array.iter
+      (fun w -> match w.domain with Some d -> Domain.join d | None -> ())
+      ws
+  end
 
 (* The process-wide pool. Shut down on exit so the runtime does not abort
    on still-running domains. *)

@@ -13,6 +13,16 @@
 
 type t
 
+exception Pool_closed
+(** Raised by {!map} and {!ensure} after {!shutdown}: submitting to a
+    stopped pool would otherwise park the task forever. *)
+
+exception Worker_lost of int
+(** Raised by {!map} when a worker domain died mid-call (slot index in
+    the failed call's task numbering). The tasks that did complete are
+    lost with the call; the slot is respawned transparently on the next
+    {!map}, so the caller's retry runs on a healthy pool. *)
+
 val create : unit -> t
 (** A pool with no workers; they are spawned by {!ensure} or on demand by
     {!map}. *)
@@ -25,7 +35,8 @@ val size : t -> int
 
 val ensure : t -> int -> unit
 (** [ensure t n] grows the pool to at least [n] workers. Call it outside
-    timed regions to keep the one-time spawn cost out of them. *)
+    timed regions to keep the one-time spawn cost out of them. Raises
+    {!Pool_closed} after {!shutdown}. *)
 
 val map : t -> (unit -> 'a) array -> ('a, exn) result array
 (** [map t fns] runs every [fns.(i)] concurrently (task 0 on the calling
@@ -37,7 +48,11 @@ val map : t -> (unit -> 'a) array -> ('a, exn) result array
 
     Each task runs with {!Obs.Timeline} lane [i] bound (the stable
     task-to-domain mapping makes lane contents deterministic), wrapped by
-    the installed {!set_task_hook} if any. *)
+    the installed {!set_task_hook} if any.
+
+    Raises {!Pool_closed} after {!shutdown}, and {!Worker_lost} when a
+    worker domain died during the call (a supervisor should retry; the
+    lost slot respawns on the next call). *)
 
 val set_task_hook : (int -> (unit -> unit) -> unit) option -> unit
 (** Install (or clear, with [None]) a process-wide per-task wrapper. The
@@ -46,5 +61,7 @@ val set_task_hook : (int -> (unit -> unit) -> unit) option -> unit
     harness to sample pool-domain heap peaks around each task. *)
 
 val shutdown : t -> unit
-(** Stop and join every worker. The pool is reusable afterwards (workers
-    respawn on demand), but in-flight [map] calls must have returned. *)
+(** Stop and join every worker, then close the pool: subsequent {!map}
+    or {!ensure} calls raise {!Pool_closed} instead of hanging on a
+    stopped worker. Idempotent — a second call is a no-op. In-flight
+    [map] calls must have returned before the first call. *)

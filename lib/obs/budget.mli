@@ -1,0 +1,27 @@
+(** Per-run wall-clock and live-heap budgets, polled from a [Gc.alarm].
+
+    The supervisor wraps each batch attempt in {!with_guard}: a
+    [Gc.alarm] fires at the end of every major collection and checks the
+    elapsed wall clock and the live heap against the budgets, raising
+    {!Exceeded} {e asynchronously} (the exception surfaces at whatever
+    allocation point triggered the collection) when one is blown. This
+    is the same machinery the peak-heap sampler uses, pointed at
+    enforcement instead of measurement.
+
+    Best-effort by construction: code that stops allocating is never
+    interrupted (the pipeline's own cooperative deadlines cover the
+    analysis stages), and the heap check only sees the state at major
+    collection boundaries. Both caveats are acceptable for supervision —
+    the guard exists to turn a runaway attempt into a classified,
+    retryable failure instead of a lost campaign. *)
+
+exception Exceeded of [ `Wall | `Heap ] * float
+(** Which budget was blown and the observed value: elapsed seconds for
+    [`Wall], live megabytes for [`Heap]. *)
+
+val with_guard : ?wall_s:float -> ?heap_mb:float -> (unit -> 'a) -> 'a
+(** [with_guard ?wall_s ?heap_mb f] runs [f] under the budgets. With
+    neither budget set this is just [f ()] — no alarm is installed. The
+    alarm is disarmed and removed when [f] returns or raises, so
+    {!Exceeded} can only surface from inside [f]. Budgets are also
+    checked synchronously once on entry. *)

@@ -914,6 +914,98 @@ module Eadr_tests = struct
     ]
 end
 
+module Truncation_tests = struct
+  (* The degradation contract, pinned down: a pipeline cut by a budget or
+     deadline still returns a result, and says exactly what it dropped. *)
+  let app_trace ops =
+    match Pmapps.Registry.find "fast-fair" with
+    | Some e ->
+        (e.Pmapps.Registry.run ~seed:42 ~ops:(Pmapps.Registry.clamp_ops e ops) ())
+          .Machine.Sched.trace
+    | None -> Alcotest.fail "fast-fair not registered"
+
+  let tiny_event_budget () =
+    let t = app_trace 1_000 in
+    let total = Trace.Tracebuf.length t in
+    let r =
+      Hawkset.Pipeline.run
+        ~config:
+          { Hawkset.Pipeline.default with Hawkset.Pipeline.event_budget = Some 3 }
+        t
+    in
+    match r.Hawkset.Pipeline.truncated with
+    | [ tr ] ->
+        Alcotest.(check string) "stage" "collect" tr.Hawkset.Pipeline.trunc_stage;
+        Alcotest.(check string)
+          "reason" "event_budget" tr.Hawkset.Pipeline.trunc_reason;
+        Alcotest.(check int) "done" 3 tr.Hawkset.Pipeline.trunc_done;
+        Alcotest.(check int) "total" total tr.Hawkset.Pipeline.trunc_total
+    | l -> Alcotest.failf "expected exactly one truncation, got %d" (List.length l)
+
+  let expired_collect_deadline () =
+    let t = app_trace 1_000 in
+    let total = Trace.Tracebuf.length t in
+    let r =
+      Hawkset.Pipeline.run
+        ~config:
+          {
+            Hawkset.Pipeline.default with
+            Hawkset.Pipeline.collect_deadline_s = Some 0.0;
+          }
+        t
+    in
+    match
+      List.filter
+        (fun (tr : Hawkset.Pipeline.truncation) ->
+          tr.Hawkset.Pipeline.trunc_stage = "collect")
+        r.Hawkset.Pipeline.truncated
+    with
+    | [ tr ] ->
+        Alcotest.(check string) "reason" "deadline" tr.Hawkset.Pipeline.trunc_reason;
+        Alcotest.(check int) "total" total tr.Hawkset.Pipeline.trunc_total;
+        Alcotest.(check bool) "partial" true
+          (tr.Hawkset.Pipeline.trunc_done < total)
+    | l ->
+        Alcotest.failf "expected exactly one collect truncation, got %d"
+          (List.length l)
+
+  let expired_analyse_deadline () =
+    let t = app_trace 1_000 in
+    let r =
+      Hawkset.Pipeline.run
+        ~config:
+          {
+            Hawkset.Pipeline.default with
+            Hawkset.Pipeline.analyse_deadline_s = Some 0.0;
+          }
+        t
+    in
+    match
+      List.filter
+        (fun (tr : Hawkset.Pipeline.truncation) ->
+          tr.Hawkset.Pipeline.trunc_stage = "analyse")
+        r.Hawkset.Pipeline.truncated
+    with
+    | [ tr ] ->
+        Alcotest.(check string) "reason" "deadline" tr.Hawkset.Pipeline.trunc_reason;
+        Alcotest.(check bool) "partial" true
+          (tr.Hawkset.Pipeline.trunc_done < tr.Hawkset.Pipeline.trunc_total);
+        Alcotest.(check bool) "total positive" true
+          (tr.Hawkset.Pipeline.trunc_total > 0)
+    | l ->
+        Alcotest.failf "expected exactly one analyse truncation, got %d"
+          (List.length l)
+
+  let tests =
+    [
+      Alcotest.test_case "tiny event budget" `Quick tiny_event_budget;
+      Alcotest.test_case "expired collect deadline" `Quick
+        expired_collect_deadline;
+      Alcotest.test_case "expired analyse deadline" `Quick
+        expired_analyse_deadline;
+    ]
+end
+
 let () =
   Alcotest.run "hawkset"
     [
@@ -924,4 +1016,5 @@ let () =
       ("report", Report_tests.tests);
       ("reference", Reference_tests.tests);
       ("eadr", Eadr_tests.tests);
+      ("truncation", Truncation_tests.tests);
     ]

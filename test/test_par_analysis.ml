@@ -375,10 +375,62 @@ module Golden_tests = struct
     ]
 end
 
+module Pool_tests = struct
+  (* Lifecycle contract of the worker pool: shutdown is idempotent, and a
+     submission after shutdown raises instead of parking forever on a
+     stopped worker. *)
+  let map_works t n =
+    let r = Hawkset.Domain_pool.map t (Array.init n (fun i () -> i * i)) in
+    Alcotest.(check int) "results" n (Array.length r);
+    Array.iteri
+      (fun i o ->
+        match o with
+        | Ok v -> Alcotest.(check int) (Printf.sprintf "task %d" i) (i * i) v
+        | Error e -> Alcotest.failf "task %d failed: %s" i (Printexc.to_string e))
+      r
+
+  let double_shutdown () =
+    let t = Hawkset.Domain_pool.create () in
+    map_works t 3;
+    Hawkset.Domain_pool.shutdown t;
+    (* Second call must be a no-op, not a hang or a double-join crash. *)
+    Hawkset.Domain_pool.shutdown t
+
+  let post_shutdown_submit () =
+    let t = Hawkset.Domain_pool.create () in
+    map_works t 3;
+    Hawkset.Domain_pool.shutdown t;
+    Alcotest.check_raises "map after shutdown" Hawkset.Domain_pool.Pool_closed
+      (fun () -> ignore (Hawkset.Domain_pool.map t [| (fun () -> ()) |]));
+    Alcotest.check_raises "empty map after shutdown"
+      Hawkset.Domain_pool.Pool_closed (fun () ->
+        ignore (Hawkset.Domain_pool.map t ([||] : (unit -> unit) array)));
+    Alcotest.check_raises "ensure after shutdown"
+      Hawkset.Domain_pool.Pool_closed (fun () ->
+        Hawkset.Domain_pool.ensure t 2)
+
+  let shutdown_fresh_pool () =
+    (* No workers ever spawned: both calls still succeed. *)
+    let t = Hawkset.Domain_pool.create () in
+    Hawkset.Domain_pool.shutdown t;
+    Hawkset.Domain_pool.shutdown t;
+    Alcotest.check_raises "map after shutdown" Hawkset.Domain_pool.Pool_closed
+      (fun () -> ignore (Hawkset.Domain_pool.map t [| (fun () -> ()) |]))
+
+  let tests =
+    [
+      Alcotest.test_case "double shutdown is a no-op" `Quick double_shutdown;
+      Alcotest.test_case "post-shutdown submit raises" `Quick
+        post_shutdown_submit;
+      Alcotest.test_case "shutdown of a fresh pool" `Quick shutdown_fresh_pool;
+    ]
+end
+
 let () =
   Alcotest.run "par_analysis"
     [
       ("random", Random_tests.tests);
       ("apps", App_tests.tests);
       ("golden", Golden_tests.tests);
+      ("pool", Pool_tests.tests);
     ]

@@ -325,6 +325,27 @@ M 0 x.ml:1
           (Hawkset.Report.count
              (Hawkset.Pipeline.races ~config:Hawkset.Pipeline.no_irh t')))
 
+  (* Degenerate inputs for the tolerant reader: a zero-length file and a
+     header-only file are valid empty traces (nothing dropped, no error,
+     no trailer), not crashes. *)
+  let tolerant_degenerate content () =
+    let path = Filename.temp_file "hawkset" ".trace" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        let t = Trace.Trace_io.load_tolerant path in
+        Alcotest.(check int) "salvaged events" 0 t.Trace.Trace_io.salvaged_events;
+        Alcotest.(check int) "tracebuf empty" 0
+          (Trace.Tracebuf.length t.Trace.Trace_io.salvaged);
+        Alcotest.(check int) "dropped lines" 0 t.Trace.Trace_io.dropped_lines;
+        Alcotest.(check bool) "no first error" true
+          (t.Trace.Trace_io.first_error = None);
+        Alcotest.(check bool) "checksum absent" true
+          (t.Trace.Trace_io.checksum = `Absent))
+
   let junk_never_crashes =
     QCheck.Test.make ~name:"malformed lines raise Parse_error, never crash"
       ~count:300
@@ -343,6 +364,10 @@ M 0 x.ml:1
       Alcotest.test_case "parse errors" `Quick parse_errors;
       Alcotest.test_case "analysis survives roundtrip" `Quick
         analysis_survives_roundtrip;
+      Alcotest.test_case "tolerant on zero-length file" `Quick
+        (tolerant_degenerate "");
+      Alcotest.test_case "tolerant on header-only file" `Quick
+        (tolerant_degenerate "# hawkset-trace 1\n");
     ]
 end
 
