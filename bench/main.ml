@@ -294,22 +294,39 @@ let par ~full =
 let perf_smoke ~full =
   let ops = if full then 100_000 else 8_000 in
   let trace = fast_fair_trace ops 42 in
-  let rounds = if full then 3 else 5 in
-  let seq_p, seq_r = timed_point ~rounds ~trace 1 in
-  let par_p, par_r = timed_point ~rounds ~trace 4 in
-  assert (
-    Hawkset.Report.to_json par_r.Hawkset.Pipeline.races
-    = Hawkset.Report.to_json seq_r.Hawkset.Pipeline.races);
-  let ratio = par_p.pp_analyse_s /. seq_p.pp_analyse_s in
+  let rounds = if full then 2 else 5 in
+  let median a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  (* Median of 3 paired measurements, each timing jobs=1 and jobs=4 back
+     to back: one scheduling hiccup (a noisy CI neighbour, a GC major
+     landing in exactly one run) can no longer fail the gate on its own,
+     where the old single-sample ratio could. *)
+  let reps = 3 in
+  let samples =
+    Array.init reps (fun _ ->
+        let seq_p, seq_r = timed_point ~rounds ~trace 1 in
+        let par_p, par_r = timed_point ~rounds ~trace 4 in
+        assert (
+          Hawkset.Report.to_json par_r.Hawkset.Pipeline.races
+          = Hawkset.Report.to_json seq_r.Hawkset.Pipeline.races);
+        (seq_p.pp_analyse_s, par_p.pp_analyse_s))
+  in
+  let seq_s = median (Array.map fst samples) in
+  let par_s = median (Array.map snd samples) in
+  let ratio = median (Array.map (fun (s, p) -> p /. s) samples) in
   print_string (Harness.Tables.section "Perf smoke (jobs=4 vs jobs=1)");
   Printf.printf
-    "fast-fair/%d: analyse jobs=1 %.4fs, jobs=4 %.4fs (ratio %.2fx, bound \
-     1.20x)\n"
-    ops seq_p.pp_analyse_s par_p.pp_analyse_s ratio;
+    "fast-fair/%d: analyse jobs=1 %.4fs, jobs=4 %.4fs (median ratio of %d \
+     reps %.2fx, bound 1.20x)\n"
+    ops seq_s par_s reps ratio;
   if ratio > 1.2 then begin
     Printf.eprintf
-      "perf-smoke FAIL: jobs=4 analyse %.4fs > 1.2x sequential %.4fs\n"
-      par_p.pp_analyse_s seq_p.pp_analyse_s;
+      "perf-smoke FAIL: jobs=4 analyse %.4fs > 1.2x sequential %.4fs \
+       (median of %d reps)\n"
+      par_s seq_s reps;
     exit 1
   end;
   (* Timeline overhead gate: the instrumentation must add <= 2% to the
@@ -330,9 +347,10 @@ let perf_smoke ~full =
     let r = Hawkset.Pipeline.run tl_trace in
     r.Hawkset.Pipeline.analysis_seconds
   in
-  let offs = Array.init rounds (fun _ -> 0.) in
-  let deltas = Array.init rounds (fun _ -> 0.) in
-  for i = 0 to rounds - 1 do
+  let tl_rounds = if full then 3 else 5 in
+  let offs = Array.init tl_rounds (fun _ -> 0.) in
+  let deltas = Array.init tl_rounds (fun _ -> 0.) in
+  for i = 0 to tl_rounds - 1 do
     let off = timed_round false in
     let on = timed_round true in
     offs.(i) <- off;
@@ -340,11 +358,6 @@ let perf_smoke ~full =
   done;
   Obs.Timeline.set_enabled false;
   Obs.Timeline.reset ();
-  let median a =
-    let a = Array.copy a in
-    Array.sort compare a;
-    a.(Array.length a / 2)
-  in
   let med_off = median offs and med_delta = median deltas in
   Printf.printf
     "fast-fair/%d: pipeline timeline-off %.4fs, median on-off delta %+.4fs \
@@ -568,13 +581,156 @@ let batch_smoke ~full =
     (List.length resumed.Supervise.b_results)
     (c "supervise.replayed")
 
+(* ---- job-level parallelism + result cache (the `batch-par` target) ----
+   The two wall-clock contracts of the concurrency work, gated: a batch
+   of four per-app chains at job_workers=4 must produce a merged report
+   byte-identical to the sequential walk in <= 0.6x its wall-clock, and
+   a duplicate-heavy (round-robin) explore sweep with a result cache
+   must record hits while the stability oracle still passes and the
+   reports stay identical to the uncached run. Both sweeps also feed the
+   `json` target's BENCH_pipeline.json batch/cache sections. *)
+
+type batch_par_point = {
+  bp_jobs : int;
+  bp_seq_s : float;  (** Median job_workers=1 wall-clock. *)
+  bp_par_s : float;  (** Median job_workers=4 wall-clock. *)
+  bp_ratio : float;  (** Median per-rep par/seq ratio. *)
+}
+
+let batch_par_sweep ~full =
+  let ops = if full then 2_000 else 600 in
+  (* Four apps, so job_workers=4 gets four per-app chains to spread. *)
+  let jobs =
+    match
+      Supervise.jobs_of
+        ~apps:[ "fast-fair"; "p-clht"; "turbo-hash"; "wipe" ]
+        ~seeds:[ 42; 43 ] ~policies:[ "round-robin" ] ~ops
+    with
+    | Ok js -> js
+    | Error msg -> failwith msg
+  in
+  let base = { Supervise.default_config with Supervise.backoff_ms = 0 } in
+  let time config =
+    let t0 = Unix.gettimeofday () in
+    let b = Supervise.run ~config jobs in
+    (b, Unix.gettimeofday () -. t0)
+  in
+  let reps = 3 in
+  let samples =
+    Array.init reps (fun _ ->
+        let b1, t1 = time base in
+        let b4, t4 = time { base with Supervise.job_workers = 4 } in
+        if Supervise.merged_json b4 <> Supervise.merged_json b1 then
+          failwith
+            "batch-par: job_workers=4 merged report differs from \
+             job_workers=1";
+        (t1, t4))
+  in
+  let median a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  {
+    bp_jobs = List.length jobs;
+    bp_seq_s = median (Array.map fst samples);
+    bp_par_s = median (Array.map snd samples);
+    bp_ratio = median (Array.map (fun (t1, t4) -> t4 /. t1) samples);
+  }
+
+type cache_point = {
+  cp_schedules : int;
+  cp_hits : int;
+  cp_misses : int;
+  cp_entries : int;
+  cp_bytes : int;
+}
+
+let explore_cache_sweep ~full =
+  let entry =
+    match Pmapps.Registry.find "fast-fair" with
+    | Some e -> e
+    | None -> failwith "fast-fair not registered"
+  in
+  (* Round-robin scheduling ignores the schedule seed, so every schedule
+     replays the same interleaving: the duplicate-heavy shape where the
+     cache pays. Any schedule past the first per worker must hit. *)
+  let config =
+    {
+      Explore.default_config with
+      Explore.schedules = (if full then 16 else 8);
+      policy = Explore.Round_robin;
+      ops = (if full then 400 else 200);
+      jobs = 2;
+    }
+  in
+  let plain = Explore.run ~config entry in
+  let cache = Hawkset.Result_cache.create () in
+  let cached =
+    Explore.run ~config:{ config with Explore.cache = Some cache } entry
+  in
+  if not (Explore.stable cached) then
+    failwith "batch-par: stability oracle violated with cache enabled";
+  let canon (t : Explore.t) =
+    List.map
+      (fun (r : Explore.schedule_result) ->
+        (r.Explore.s_index, r.Explore.s_canonical))
+      t.Explore.x_results
+  in
+  if canon cached <> canon plain then
+    failwith "batch-par: cached explore reports differ from uncached";
+  let stats = Hawkset.Result_cache.stats cache in
+  let stat name = Option.value ~default:0 (List.assoc_opt name stats) in
+  {
+    cp_schedules = config.Explore.schedules;
+    cp_hits = stat "cache.hits";
+    cp_misses = stat "cache.misses";
+    cp_entries = stat "cache.entries";
+    cp_bytes = stat "cache.bytes";
+  }
+
+let batch_par ~full =
+  let bp = batch_par_sweep ~full in
+  print_string (Harness.Tables.section "Batch job-workers (4 vs 1)");
+  (* The speedup gate needs hardware that can actually run four chains
+     at once; on fewer cores (dev containers are often 1-2) the byte
+     identity asserted inside the sweep is the whole contract and the
+     wall-clock ratio is reported without gating — same spirit as
+     perf-smoke's 1.2x *overhead* bound, which tolerates parallelism
+     that cannot pay on the machine at hand. *)
+  let cores = Domain.recommended_domain_count () in
+  let gated = cores >= 4 in
+  Printf.printf
+    "%d jobs: job_workers=1 %.3fs, job_workers=4 %.3fs (median ratio %.2fx, \
+     bound 0.60x%s); merged reports byte-identical\n"
+    bp.bp_jobs bp.bp_seq_s bp.bp_par_s bp.bp_ratio
+    (if gated then ""
+     else Printf.sprintf " — not gated, %d core(s)" cores);
+  if gated && bp.bp_ratio > 0.6 then begin
+    Printf.eprintf
+      "batch-par FAIL: job_workers=4 wall-clock %.3fs > 0.6x sequential \
+       %.3fs\n"
+      bp.bp_par_s bp.bp_seq_s;
+    exit 1
+  end;
+  let cp = explore_cache_sweep ~full in
+  Printf.printf
+    "explore round-robin x%d with cache: hits=%d misses=%d entries=%d \
+     (oracle stable, reports identical to uncached)\n"
+    cp.cp_schedules cp.cp_hits cp.cp_misses cp.cp_entries;
+  if cp.cp_hits = 0 then begin
+    Printf.eprintf "batch-par FAIL: explore cache recorded no hits\n";
+    exit 1
+  end;
+  (bp, cp)
+
 (* ---- pipeline perf-trajectory emitter (BENCH_pipeline.json) ----
    One instrumented fast-fair run per workload size: per-stage seconds,
    peak live heap and the deterministic counter snapshot, machine-readable
    so CI can archive the trajectory per commit. Includes the per-jobs
    parallel-analysis sweep. *)
 
-let bench_json ?sweep ~full () =
+let bench_json ?sweep ?batch_cache ~full () =
   let sizes = if full then [ 1_000; 10_000; 100_000 ] else [ 1_000; 4_000 ] in
   let entry =
     match Pmapps.Registry.find "fast-fair" with
@@ -607,14 +763,36 @@ let bench_json ?sweep ~full () =
       sizes
   in
   let sweep = match sweep with Some s -> s | None -> par_sweep ~full in
+  let bp, cp =
+    match batch_cache with
+    | Some bc -> bc
+    | None -> (batch_par_sweep ~full, explore_cache_sweep ~full)
+  in
   let doc =
     Obs.Json.obj
       [
-        ("schema", Obs.Json.str "hawkset.bench_pipeline/3");
+        ("schema", Obs.Json.str "hawkset.bench_pipeline/4");
         ("app", Obs.Json.str "fast-fair");
         ("seed", Obs.Json.int 42);
         ("points", Obs.Json.arr points);
         ("parallel", par_json sweep);
+        ( "batch",
+          Obs.Json.obj
+            [
+              ("jobs", Obs.Json.int bp.bp_jobs);
+              ("job_workers_1_s", Obs.Json.float bp.bp_seq_s);
+              ("job_workers_4_s", Obs.Json.float bp.bp_par_s);
+              ("ratio", Obs.Json.float bp.bp_ratio);
+            ] );
+        ( "cache",
+          Obs.Json.obj
+            [
+              ("schedules", Obs.Json.int cp.cp_schedules);
+              ("hits", Obs.Json.int cp.cp_hits);
+              ("misses", Obs.Json.int cp.cp_misses);
+              ("entries", Obs.Json.int cp.cp_entries);
+              ("bytes", Obs.Json.int cp.cp_bytes);
+            ] );
       ]
   in
   let file = "BENCH_pipeline.json" in
@@ -632,7 +810,7 @@ let () =
     List.exists wants
       [ "table1"; "table2"; "table3"; "table4"; "figure6"; "ablation";
         "micro"; "par"; "json"; "--json"; "crash-sweep"; "perf-smoke";
-        "explore"; "batch-smoke" ]
+        "explore"; "batch-smoke"; "batch-par" ]
   in
   let run name f = if (not any) || wants name then f ~full in
   run "table1" table1;
@@ -651,13 +829,17 @@ let () =
   (* `batch-smoke` is opt-in only: it runs the pipeline once per job,
      twice over (golden + kill/resume). *)
   if wants "batch-smoke" then batch_smoke ~full;
+  (* `batch-par` is opt-in only: it times the same batch six times over
+     (3 reps x 2 widths) plus two explore sweeps. When `json` also runs,
+     its measurements are reused for the batch/cache sections. *)
+  let batch_cache = if wants "batch-par" then Some (batch_par ~full) else None in
   (* `par` and `json` (or `--json`) are opt-in only: they are not part of
      the default everything-run because they re-execute instrumented
      workloads. `par` prints the jobs sweep and records it in
      BENCH_pipeline.json; `json` runs the sweep silently. *)
   if wants "par" then begin
     let sweep = par ~full in
-    bench_json ~sweep ~full ()
+    bench_json ~sweep ?batch_cache ~full ()
   end
-  else if wants "json" || wants "--json" then bench_json ~full ();
+  else if wants "json" || wants "--json" then bench_json ?batch_cache ~full ();
   if (not any) || wants "micro" then micro ()

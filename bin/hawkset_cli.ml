@@ -720,9 +720,43 @@ let crash_sweep_cmd =
           $ dump_traces $ details $ stats_arg $ stats_json_arg
           $ trace_out_arg)
 
+(* Load-or-create the persistent result cache, hand it to [f], then save
+   it back and print one grep-friendly summary line (the CI cache smoke
+   asserts on it). [None] path: no cache at all. *)
+let with_result_cache path f =
+  match path with
+  | None -> f None
+  | Some file ->
+      let c = Hawkset.Result_cache.load file in
+      let r = f (Some c) in
+      Hawkset.Result_cache.save c file;
+      let s = Hawkset.Result_cache.stats c in
+      let get k = try List.assoc k s with Not_found -> 0 in
+      Format.printf "cache: hits=%d misses=%d entries=%d bytes=%d file=%s@."
+        (get "cache.hits") (get "cache.misses") (get "cache.entries")
+        (get "cache.bytes") file;
+      r
+
+let cache_arg cmd =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"FILE"
+        ~doc:
+          (Printf.sprintf
+             "Fingerprint-keyed result cache: within the run, a trace whose \
+              fingerprint was already analysed (same analysis config) skips \
+              stage 2+3 and reuses the recorded report; across runs the \
+              cache is persisted to $(docv) (checksummed journal format; a \
+              missing file starts empty, a damaged tail is salvaged). %s \
+              results are unchanged — caveat: a hit substitutes a complete \
+              result even where per-attempt deadlines would have truncated \
+              one."
+             cmd))
+
 let explore_cmd =
-  let go () apps schedules policy depth jobs seed ops trace_out stats
-      stats_json =
+  let go () apps schedules policy depth jobs seed ops trace_out cache_file
+      stats stats_json =
     let policy =
       match Explore.policy_kind_of_string policy with
       | Ok p -> p
@@ -730,18 +764,22 @@ let explore_cmd =
           Format.eprintf "explore: %s@." msg;
           exit 1
     in
-    let config =
-      {
-        Explore.schedules;
-        policy;
-        depth;
-        jobs;
-        seed;
-        ops;
-        dump_dir = trace_out;
-      }
+    let ts =
+      with_result_cache cache_file (fun cache ->
+          let config =
+            {
+              Explore.schedules;
+              policy;
+              depth;
+              jobs;
+              seed;
+              ops;
+              dump_dir = trace_out;
+              cache;
+            }
+          in
+          Harness.Explore_sweep.run ~config ~apps ())
     in
-    let ts = Harness.Explore_sweep.run ~config ~apps () in
     if ts = [] then begin
       Format.eprintf "explore: no application matched (try list-apps)@.";
       exit 1
@@ -782,7 +820,7 @@ let explore_cmd =
   let jobs =
     Arg.(
       value & opt int 1
-      & info [ "j"; "jobs" ] ~docv:"N"
+      & info [ "j"; "jobs"; "job-workers" ] ~docv:"N"
           ~doc:
             "Worker domains exploring schedules in parallel. Results and \
              deterministic counters are identical for every $(docv).")
@@ -807,12 +845,13 @@ let explore_cmd =
           identical reports. Exits 1 on any violation.")
     Term.(const go $ logging_term $ apps $ schedules $ policy $ depth $ jobs
           $ seed_arg $ ops_arg Explore.default_config.Explore.ops
-          $ explore_trace_out $ stats_arg $ stats_json_arg)
+          $ explore_trace_out $ cache_arg "Exploration" $ stats_arg
+          $ stats_json_arg)
 
 let batch_cmd =
-  let go () apps seed nseeds policies ops jobs attempts backoff_ms breaker
-      deadline_s max_heap_mb faults journal resume kill_after out json stats
-      stats_json =
+  let go () apps seed nseeds policies ops jobs job_workers attempts backoff_ms
+      breaker deadline_s max_heap_mb faults journal resume kill_after
+      cache_file out json stats stats_json =
     if resume && journal = None then begin
       Format.eprintf "batch: --resume needs --journal FILE@.";
       exit 1
@@ -840,6 +879,7 @@ let batch_cmd =
         backoff_ms;
         breaker_threshold = breaker;
         pipeline_jobs = jobs;
+        job_workers = max 1 job_workers;
         deadline_s;
         max_heap_mb;
         faults;
@@ -853,7 +893,10 @@ let batch_cmd =
     | Ok declared -> (
         Obs.Registry.reset Obs.Registry.global;
         let b =
-          try Supervise.run ?journal ~resume ~config declared with
+          try
+            with_result_cache cache_file (fun cache ->
+                Supervise.run ?journal ~resume ?cache ~config declared)
+          with
           | Supervise.Resume_mismatch { expected; found } ->
               Format.eprintf
                 "batch: journal records a different batch declaration \
@@ -998,6 +1041,19 @@ let batch_cmd =
       & info [ "o"; "out" ] ~docv:"FILE"
           ~doc:"Write the merged batch report JSON to $(docv).")
   in
+  let job_workers =
+    Arg.(
+      value & opt int 1
+      & info [ "job-workers" ] ~docv:"N"
+          ~doc:
+            "Jobs in flight at once: per-application job chains run \
+             concurrently on the domain pool, with each job's stage-3 \
+             analysis forced sequential so total domains stay bounded by \
+             $(docv). The merged report is byte-identical to $(docv)=1 — \
+             only wall-clock time changes. Journal records are appended \
+             per completed job (replay stays keyed by job id, so \
+             $(b,--resume) is unaffected).")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -1009,9 +1065,10 @@ let batch_cmd =
           report. Exits 3 if any job failed or was quarantined, 10 when \
           stopped by $(b,--kill-after).")
     Term.(const go $ logging_term $ apps $ seed_arg $ nseeds $ policies
-          $ ops_arg 400 $ jobs_arg $ attempts $ backoff_ms $ breaker
-          $ deadline_s $ max_heap_mb $ faults $ journal $ resume $ kill_after
-          $ out $ json_arg $ stats_arg $ stats_json_arg)
+          $ ops_arg 400 $ jobs_arg $ job_workers $ attempts $ backoff_ms
+          $ breaker $ deadline_s $ max_heap_mb $ faults $ journal $ resume
+          $ kill_after $ cache_arg "Batch" $ out $ json_arg $ stats_arg
+          $ stats_json_arg)
 
 let ablation_cmd =
   let go ops =

@@ -189,6 +189,69 @@ let map t fns =
     results
   end
 
+(* Two-level scheduling for the batch supervisor: [n] tasks drained by
+   [workers] slots pulling indices off a shared atomic counter. Unlike
+   [map] there is no task-per-slot bijection — any slot may run any task
+   — so callers must not rely on slot-indexed state; what stays
+   deterministic is the *result order* (index [i] of the returned array
+   is task [i]'s outcome, wherever it ran). Slot 0 is the caller, slot
+   [s >= 1] is worker [s - 1]; each task binds its slot's timeline lane. *)
+let run_queue t ~workers fns =
+  let n = Array.length fns in
+  let slots = max 1 (min workers n) in
+  if n = 0 then begin
+    if t.closed then raise Pool_closed;
+    [||]
+  end
+  else begin
+    (* Same serialisation/heal/grow preamble as [map]: the whole drain
+       holds [t.lock], so queue tasks must never re-enter the pool. *)
+    Mutex.lock t.lock;
+    if t.closed then begin
+      Mutex.unlock t.lock;
+      raise Pool_closed
+    end;
+    let have = Array.length t.workers in
+    if slots - 1 > have then
+      t.workers <-
+        Array.init (slots - 1) (fun i ->
+            if i < have then t.workers.(i) else spawn_worker ());
+    for i = 0 to slots - 2 do
+      if t.workers.(i).dead then begin
+        (match t.workers.(i).domain with
+        | Some d -> ( try Domain.join d with _ -> ())
+        | None -> ());
+        let ws = Array.copy t.workers in
+        ws.(i) <- spawn_worker ();
+        t.workers <- ws
+      end
+    done;
+    let results = Array.make n (Error Not_found) in
+    let next = Atomic.make 0 in
+    let rec drain slot () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <-
+          (try Ok (run_task slot (fun () -> fns.(i) ())) with e -> Error e);
+        drain slot ()
+      end
+    in
+    for s = 1 to slots - 1 do
+      submit t.workers.(s - 1) (drain s)
+    done;
+    drain 0 ();
+    for s = 1 to slots - 1 do
+      await t.workers.(s - 1)
+    done;
+    let lost = ref (-1) in
+    for i = slots - 2 downto 0 do
+      if t.workers.(i).dead then lost := i + 1
+    done;
+    Mutex.unlock t.lock;
+    if !lost >= 0 then raise (Worker_lost !lost);
+    results
+  end
+
 let shutdown t =
   Mutex.lock t.lock;
   if t.closed then begin

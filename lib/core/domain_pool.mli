@@ -54,6 +54,21 @@ val map : t -> (unit -> 'a) array -> ('a, exn) result array
     worker domain died during the call (a supervisor should retry; the
     lost slot respawns on the next call). *)
 
+val run_queue : t -> workers:int -> (unit -> 'a) array -> ('a, exn) result array
+(** [run_queue t ~workers fns] drains the [fns] through at most [workers]
+    concurrent slots (slot 0 on the calling domain, slot [s >= 1] on
+    worker [s - 1]) pulling task indices off a shared counter — the
+    two-level scheduling primitive behind job-concurrent batches. Result
+    order is deterministic ([i]-th result is [fns.(i)]'s outcome);
+    task-to-slot placement is {e not}, so tasks must not rely on
+    slot-indexed caller state the way {!map} tasks may. Each task binds
+    its slot's {!Obs.Timeline} lane and runs under the {!set_task_hook}
+    wrapper. The whole drain is serialised with other pool calls —
+    tasks must never re-enter the pool ({!map}/{!run_queue}/{!ensure}
+    self-deadlock). Raises {!Pool_closed} after {!shutdown} and
+    {!Worker_lost} when a worker died mid-drain (remaining results of
+    that call are lost; the slot respawns on the next call). *)
+
 val set_task_hook : (int -> (unit -> unit) -> unit) option -> unit
 (** Install (or clear, with [None]) a process-wide per-task wrapper. The
     hook receives the task's slot index and a thunk it must run exactly

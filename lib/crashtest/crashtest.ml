@@ -425,18 +425,60 @@ let subsample n l =
 (* Ground-truth ids reported by the pipeline on the crashed prefix: the
    analysis predicts from the events leading up to this crash point, so a
    match means the damage seen by recovery is the bug the detector
-   reports — manifested, not just flagged. *)
-let attribute runner (report : S.report) =
+   reports — manifested, not just flagged.
+
+   Attribution matches on (store location, load location) pairs — exactly
+   {!Hawkset.Report.canonical} — so identical crash prefixes (two points
+   that cut the trace at the same persistent state, e.g. a fence point
+   and a stride point landing on the same boundary) are deduplicated
+   through the sweep's result cache instead of re-running the pipeline. *)
+let attr_config_fp =
+  Hawkset.Result_cache.config_fingerprint Hawkset.Pipeline.default
+
+let ids_of_canonical bugs canonical =
+  List.filter_map
+    (fun (b : Pmapps.Ground_truth.bug) ->
+      if
+        List.exists
+          (fun (s, l) ->
+            List.mem s b.Pmapps.Ground_truth.gt_store_locs
+            && List.mem l b.Pmapps.Ground_truth.gt_load_locs)
+          canonical
+      then Some b.Pmapps.Ground_truth.gt_id
+      else None)
+    bugs
+
+let attribute ?cache runner (report : S.report) =
   match runner.r_bugs with
   | [] -> []
-  | bugs ->
-      let races = Hawkset.Pipeline.races report.S.trace in
-      List.filter_map
-        (fun (b : Pmapps.Ground_truth.bug) ->
-          if Pmapps.Ground_truth.bug_found ~bugs races b.Pmapps.Ground_truth.gt_id
-          then Some b.Pmapps.Ground_truth.gt_id
-          else None)
-        bugs
+  | bugs -> (
+      let analyse () =
+        let r = Hawkset.Pipeline.run report.S.trace in
+        let canonical = Hawkset.Report.canonical r.Hawkset.Pipeline.races in
+        (match cache with
+        | Some c when r.Hawkset.Pipeline.truncated = [] ->
+            Hawkset.Result_cache.add c
+              ~trace_fp:(Trace.Trace_io.fingerprint report.S.trace)
+              ~config_fp:attr_config_fp
+              {
+                Hawkset.Result_cache.e_races_json =
+                  Hawkset.Report.to_json r.Hawkset.Pipeline.races;
+                e_canonical = canonical;
+                e_counters = r.Hawkset.Pipeline.counters;
+              }
+        | Some _ | None -> ());
+        canonical
+      in
+      match cache with
+      | None -> ids_of_canonical bugs (analyse ())
+      | Some c -> (
+          match
+            Hawkset.Result_cache.find c
+              ~trace_fp:(Trace.Trace_io.fingerprint report.S.trace)
+              ~config_fp:attr_config_fp
+          with
+          | Some e -> ids_of_canonical bugs e.Hawkset.Result_cache.e_canonical
+          | None -> ids_of_canonical bugs (analyse ())))
 
 (* Timeline events: the sweep as one duration bracket (arg = point count)
    with an instant per crash point (arg = point index). Point specs are a
@@ -470,6 +512,10 @@ let run_sweep ?(config = default_config) runner =
     @ subsample config.c_max_points stride_specs
   in
   let manifested = Hashtbl.create 8 in
+  (* Per-sweep result cache for attribution: fence points and stride
+     points frequently cut the trace at the same prefix, and the sweep is
+     sequential, so identical-fingerprint prefixes analyse once. *)
+  let attr_cache = Hawkset.Result_cache.create () in
   (* Damaged-point traces become golden fixtures: the crashed prefix,
      saved with the checksum trailer so replay (`hawkset analyze`, the
      salvage tests) can verify integrity. Capped per sweep — the first
@@ -532,7 +578,8 @@ let run_sweep ?(config = default_config) runner =
                 (match outcome with
                 | Damaged _ -> Obs.Metric.incr obs_damaged
                 | _ -> Obs.Metric.incr obs_raised);
-                if config.c_attribute then attribute runner ex.ex_report
+                if config.c_attribute then
+                  attribute ~cache:attr_cache runner ex.ex_report
                 else []
           in
           List.iter

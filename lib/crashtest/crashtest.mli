@@ -77,7 +77,10 @@ type config = {
   c_fence_points : bool;  (** Crash after every fence/persist boundary. *)
   c_attribute : bool;
       (** Analyse damaged prefixes with the pipeline and cross-reference
-          {!Pmapps.Ground_truth} (the manifested-bug column). *)
+          {!Pmapps.Ground_truth} (the manifested-bug column). Damaged
+          points whose crashed prefix has the same trace fingerprint
+          (fence and stride points often cut at the same boundary) share
+          one analysis through a per-sweep {!Hawkset.Result_cache}. *)
   c_verify_budget : int;  (** Event budget for each recovery run. *)
   c_dump_dir : string option;
       (** Dump the crashed prefix trace of damaged/failed points (capped

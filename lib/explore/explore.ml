@@ -44,6 +44,7 @@ type config = {
   seed : int;
   ops : int;
   dump_dir : string option;
+  cache : Hawkset.Result_cache.t option;
 }
 
 let default_config =
@@ -55,6 +56,7 @@ let default_config =
     seed = 42;
     ops = 400;
     dump_dir = None;
+    cache = None;
   }
 
 type schedule_result = {
@@ -160,6 +162,12 @@ let racy_pairs (report : S.report) =
   pairs_of (List.filter (fun (o : S.observation) -> o.S.obs_racy)
       report.S.observations)
 
+(* The analysis below runs the default feature set (collector + the
+   sequential kernel), so cached entries share a config fingerprint with
+   any other default-config consumer of the same trace. *)
+let analysis_config_fp =
+  Hawkset.Result_cache.config_fingerprint Hawkset.Pipeline.default
+
 let run_schedule (entry : R.entry) config ~ops i =
   let sched_seed = sched_seed_of config i in
   let name = policy_name config i in
@@ -169,15 +177,48 @@ let run_schedule (entry : R.entry) config ~ops i =
   with
   | report ->
       let trace = report.S.trace in
-      let collected = Hawkset.Collector.collect trace in
-      let outcome = Hawkset.Par_analysis.analyse ~jobs:1 collected in
+      let fp = Trace.Trace_io.fingerprint trace in
+      (* Stage 2+3 is a pure function of the trace (the determinism half
+         of the oracle), so a fingerprint already in the cache skips the
+         analysis entirely — previously every duplicate-trace schedule
+         was re-analysed and deduplicated only afterwards ([rep_by_fp]).
+         The cache is mutex-protected: workers consult it concurrently,
+         and two workers racing on a brand-new fingerprint at worst
+         both analyse it (first insert wins, entries are identical). *)
+      let analyse () =
+        let collected = Hawkset.Collector.collect trace in
+        let outcome = Hawkset.Par_analysis.analyse ~jobs:1 collected in
+        outcome.Hawkset.Analysis.report
+      in
+      let canonical =
+        match config.cache with
+        | None -> Hawkset.Report.canonical (analyse ())
+        | Some c -> (
+            match
+              Hawkset.Result_cache.find c ~trace_fp:fp
+                ~config_fp:analysis_config_fp
+            with
+            | Some e -> e.Hawkset.Result_cache.e_canonical
+            | None ->
+                let races = analyse () in
+                let canonical = Hawkset.Report.canonical races in
+                Hawkset.Result_cache.add c ~trace_fp:fp
+                  ~config_fp:analysis_config_fp
+                  {
+                    Hawkset.Result_cache.e_races_json =
+                      Hawkset.Report.to_json races;
+                    e_canonical = canonical;
+                    e_counters = [];
+                  };
+                canonical)
+      in
       {
         s_index = i;
         s_policy = name;
         s_sched_seed = sched_seed;
         s_events = report.S.event_count;
-        s_fingerprint = Trace.Trace_io.fingerprint trace;
-        s_canonical = Hawkset.Report.canonical outcome.Hawkset.Analysis.report;
+        s_fingerprint = fp;
+        s_canonical = canonical;
         s_observed = observed_pairs report;
         s_racy = racy_pairs report;
         s_error = None;
@@ -419,11 +460,21 @@ let manifest ts =
       ("seed", string_of_int config.seed);
     ]
   in
+  (* Cache hit/miss splits are schedule-dependent under [jobs > 1] (two
+     workers can race on a new fingerprint), so they live here among the
+     gauges — never in {!counters}, whose byte-identity across jobs
+     values is a tested contract. *)
   let gauges =
-    [
-      ("explore.schedules_per_sec",
-       if seconds > 0.0 then float_of_int schedules /. seconds else 0.0);
-      ("explore.seconds", seconds);
-    ]
+    (match config.cache with
+    | None -> []
+    | Some c ->
+        List.map
+          (fun (k, v) -> (k, float_of_int v))
+          (Hawkset.Result_cache.stats c))
+    @ [
+        ("explore.schedules_per_sec",
+         if seconds > 0.0 then float_of_int schedules /. seconds else 0.0);
+        ("explore.seconds", seconds);
+      ]
   in
   Obs.Manifest.make ~labels ~counters:(counters ts) ~gauges ()

@@ -74,6 +74,14 @@ type config = {
   dump_dir : string option;
       (** Where divergent trace pairs are dumped as golden fixtures
           (default [None]: no dumps). *)
+  cache : Hawkset.Result_cache.t option;
+      (** Result cache consulted per schedule (default [None]): a trace
+          whose fingerprint is already cached skips stage 2+3 entirely —
+          sound because the determinism half of the oracle is exactly
+          the purity the cache assumes, and every cached entry the sweep
+          produces was verified against that oracle when first computed.
+          Results are unchanged; only wall-clock time (and the
+          [cache.*] gauges in {!manifest}) move. *)
 }
 
 val default_config : config

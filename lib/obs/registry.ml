@@ -3,7 +3,16 @@
    paths; consumers snapshot sorted association lists. [reset] zeroes the
    values but keeps the handles, so a front end can reset at the start of
    a run and read a per-run snapshot at the end while instrumented
-   libraries hold their handles across runs. *)
+   libraries hold their handles across runs.
+
+   Domain safety: handle *bumps* are plain unsynchronised writes (racy
+   but memory-safe, and the supervisor only reads deterministic counters
+   derived from results, never the live registry, for gated outputs).
+   Handle creation, span recording and snapshots mutate the Hashtbls
+   themselves, which OCaml 5 does not make safe across domains — those
+   paths take [lock]. Span nesting is tracked per *domain* (keyed on
+   [Domain.self]), so concurrent batch jobs each build their own
+   "run/collect/..." paths instead of interleaving onto one stack. *)
 
 type span_stat = { mutable sp_count : int; mutable sp_seconds : float }
 
@@ -12,7 +21,8 @@ type t = {
   gauges : (string, Metric.gauge) Hashtbl.t;
   histograms : (string, Metric.histogram) Hashtbl.t;
   spans : (string, span_stat) Hashtbl.t;
-  mutable span_stack : string list;
+  span_stacks : (int, string list) Hashtbl.t; (* domain id -> open paths *)
+  lock : Mutex.t;
 }
 
 let create () =
@@ -21,79 +31,101 @@ let create () =
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
     spans = Hashtbl.create 16;
-    span_stack = [];
+    span_stacks = Hashtbl.create 8;
+    lock = Mutex.create ();
   }
 
 let global = create ()
 
-let find_or_create tbl name make =
-  match Hashtbl.find_opt tbl name with
-  | Some m -> m
-  | None ->
-      let m = make name in
-      Hashtbl.add tbl name m;
-      m
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find_or_create t tbl name make =
+  locked t (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some m -> m
+      | None ->
+          let m = make name in
+          Hashtbl.add tbl name m;
+          m)
 
 let counter ?(registry = global) name =
-  find_or_create registry.counters name Metric.counter
+  find_or_create registry registry.counters name Metric.counter
 
 let gauge ?(registry = global) name =
-  find_or_create registry.gauges name Metric.gauge
+  find_or_create registry registry.gauges name Metric.gauge
 
 let histogram ?(registry = global) ?bounds name =
-  find_or_create registry.histograms name (Metric.histogram ?bounds)
+  find_or_create registry registry.histograms name (Metric.histogram ?bounds)
 
 let reset t =
-  Hashtbl.iter (fun _ c -> Metric.reset_counter c) t.counters;
-  Hashtbl.iter (fun _ g -> Metric.reset_gauge g) t.gauges;
-  Hashtbl.iter (fun _ h -> Metric.reset_histogram h) t.histograms;
-  Hashtbl.reset t.spans;
-  t.span_stack <- []
+  locked t (fun () ->
+      Hashtbl.iter (fun _ c -> Metric.reset_counter c) t.counters;
+      Hashtbl.iter (fun _ g -> Metric.reset_gauge g) t.gauges;
+      Hashtbl.iter (fun _ h -> Metric.reset_histogram h) t.histograms;
+      Hashtbl.reset t.spans;
+      Hashtbl.reset t.span_stacks)
 
-let sorted_bindings tbl value =
-  Hashtbl.fold (fun name m acc -> (name, value m) :: acc) tbl []
+let sorted_bindings t tbl value =
+  locked t (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, value m) :: acc) tbl [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let counters t = sorted_bindings t.counters Metric.value
-let gauges t = sorted_bindings t.gauges Metric.gauge_value
+let counters t = sorted_bindings t t.counters Metric.value
+let gauges t = sorted_bindings t t.gauges Metric.gauge_value
 
 let histogram_cells (h : Metric.histogram) = Metric.cells h
 
-let histograms t = sorted_bindings t.histograms histogram_cells
+let histograms t = sorted_bindings t t.histograms histogram_cells
 
 (* --- spans ----------------------------------------------------------- *)
 
 (* Nested spans record under their slash-joined path ("run/analyse"), so
    the snapshot reads as a flame-graph outline. Reentrancy under the same
-   path accumulates. *)
+   path accumulates. Nesting is per domain: a worker's spans chain off
+   the spans *it* opened, never off another domain's. *)
 let with_span ?(registry = global) name f =
   let t = registry in
+  let did = (Domain.self () :> int) in
   let path =
-    match t.span_stack with [] -> name | top :: _ -> top ^ "/" ^ name
+    locked t (fun () ->
+        let stack =
+          Option.value (Hashtbl.find_opt t.span_stacks did) ~default:[]
+        in
+        let path =
+          match stack with [] -> name | top :: _ -> top ^ "/" ^ name
+        in
+        Hashtbl.replace t.span_stacks did (path :: stack);
+        path)
   in
-  t.span_stack <- path :: t.span_stack;
   let t0 = Clock.now () in
   Fun.protect
     ~finally:(fun () ->
       let dt = Float.max 0.0 (Clock.now () -. t0) in
-      (match t.span_stack with
-      | top :: rest when String.equal top path -> t.span_stack <- rest
-      | _ -> () (* unbalanced exit via an effect; leave the stack alone *));
-      let s =
-        match Hashtbl.find_opt t.spans path with
-        | Some s -> s
-        | None ->
-            let s = { sp_count = 0; sp_seconds = 0.0 } in
-            Hashtbl.add t.spans path s;
-            s
-      in
-      s.sp_count <- s.sp_count + 1;
-      s.sp_seconds <- s.sp_seconds +. dt)
+      locked t (fun () ->
+          (match Hashtbl.find_opt t.span_stacks did with
+          | Some (top :: rest) when String.equal top path ->
+              if rest = [] then Hashtbl.remove t.span_stacks did
+              else Hashtbl.replace t.span_stacks did rest
+          | _ -> () (* unbalanced exit via an effect; leave it alone *));
+          let s =
+            match Hashtbl.find_opt t.spans path with
+            | Some s -> s
+            | None ->
+                let s = { sp_count = 0; sp_seconds = 0.0 } in
+                Hashtbl.add t.spans path s;
+                s
+          in
+          s.sp_count <- s.sp_count + 1;
+          s.sp_seconds <- s.sp_seconds +. dt))
     f
 
 let spans t =
-  Hashtbl.fold (fun path s acc -> (path, (s.sp_count, s.sp_seconds)) :: acc)
-    t.spans []
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun path s acc -> (path, (s.sp_count, s.sp_seconds)) :: acc)
+        t.spans [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* --- snapshot arithmetic --------------------------------------------- *)

@@ -29,7 +29,10 @@ val histograms : t -> (string * (string * int) list) list
 
 val with_span : ?registry:t -> string -> (unit -> 'a) -> 'a
 (** Times [f] on the {!Clock} and accumulates (count, seconds) under the
-    slash-joined path of active spans ("run/analyse" when nested). *)
+    slash-joined path of active spans ("run/analyse" when nested).
+    Nesting is tracked per domain, and the span table is mutex-protected,
+    so concurrent jobs on worker domains record safely without
+    interleaving their paths onto one stack. *)
 
 val spans : t -> (string * (int * float)) list
 

@@ -135,6 +135,7 @@ type config = {
   max_heap_mb : float option;
   breaker_threshold : int;
   pipeline_jobs : int;
+  job_workers : int;
   faults : fault list;
   stop_after : int option;
 }
@@ -148,6 +149,7 @@ let default_config =
     max_heap_mb = None;
     breaker_threshold = 2;
     pipeline_jobs = 1;
+    job_workers = 1;
     faults = [];
     stop_after = None;
   }
@@ -185,7 +187,10 @@ exception Resume_mismatch of { expected : string; found : string option }
 
 (* Everything that shapes a job's terminal state goes into the
    fingerprint — [stop_after] deliberately not: a killed batch and its
-   uninterrupted twin are the same declaration. *)
+   uninterrupted twin are the same declaration. [job_workers] is also
+   excluded: job-level concurrency changes only wall-clock time (the
+   merged report is byte-identical at any width), so a batch journaled
+   at one width may be resumed at another. *)
 let fingerprint config jobs =
   let b = Buffer.create 256 in
   List.iter
@@ -259,7 +264,10 @@ let tl_quarantine = Obs.Timeline.name "supervise.quarantine"
    bit-identical in its report. *)
 let degrades = function Worker_lost | Oom -> true | _ -> false
 
-let run_attempt config (job : job) ~attempt ~sequential =
+(* One attempt's product: the report JSON bytes and the truncation count
+   — all a terminal [Done] needs, whether the analysis ran or a cache
+   hit substituted the recorded bytes of an identical trace. *)
+let run_attempt ?cache config (job : job) ~attempt ~sequential ~cap_jobs =
   (match
      List.find_opt
        (fun f -> f.f_job = job.j_id && attempt <= f.f_times)
@@ -283,16 +291,46 @@ let run_attempt config (job : job) ~attempt ~sequential =
       let report = entry.R.run ~seed:job.j_seed ~policy ~ops () in
       (* The wall budget also feeds the pipeline's cooperative stage
          deadlines: the stages yield at their polling points well before
-         the Gc-alarm guard has to fire. *)
+         the Gc-alarm guard has to fire. [cap_jobs] (job-concurrency > 1)
+         forces the stage-3 analysis sequential so the total domain
+         count stays bounded by the job width — bit-identical by the
+         parallel-analysis contract, and it must not re-enter the pool
+         this very job is running on. *)
       let pcfg =
         {
           Hawkset.Pipeline.default with
-          jobs = (if sequential then 1 else max 1 config.pipeline_jobs);
+          jobs =
+            (if sequential || cap_jobs then 1 else max 1 config.pipeline_jobs);
           collect_deadline_s = config.deadline_s;
           analyse_deadline_s = config.deadline_s;
         }
       in
-      Hawkset.Pipeline.run ~config:pcfg report.S.trace)
+      let analyse () =
+        let r = Hawkset.Pipeline.run ~config:pcfg report.S.trace in
+        ( Hawkset.Report.to_json r.Hawkset.Pipeline.races,
+          r.Hawkset.Pipeline.races,
+          r.Hawkset.Pipeline.counters,
+          List.length r.Hawkset.Pipeline.truncated )
+      in
+      match cache with
+      | None ->
+          let json, _, _, truncs = analyse () in
+          (json, truncs)
+      | Some c -> (
+          let trace_fp = Trace.Trace_io.fingerprint report.S.trace in
+          let config_fp = Hawkset.Result_cache.config_fingerprint pcfg in
+          match Hawkset.Result_cache.find c ~trace_fp ~config_fp with
+          | Some e -> (e.Hawkset.Result_cache.e_races_json, 0)
+          | None ->
+              let json, races, counters, truncs = analyse () in
+              if truncs = 0 then
+                Hawkset.Result_cache.add c ~trace_fp ~config_fp
+                  {
+                    Hawkset.Result_cache.e_races_json = json;
+                    e_canonical = Hawkset.Report.canonical races;
+                    e_counters = counters;
+                  };
+              (json, truncs)))
 
 (* --- journal records -------------------------------------------------- *)
 
@@ -371,7 +409,7 @@ let restore path =
 
 (* --- the batch loop --------------------------------------------------- *)
 
-let run ?journal ?(resume = false) ?(config = default_config) jobs =
+let run ?journal ?(resume = false) ?cache ?(config = default_config) jobs =
   List.iter
     (fun j ->
       if R.find j.j_app = None then
@@ -403,16 +441,12 @@ let run ?journal ?(resume = false) ?(config = default_config) jobs =
           (Hashtbl.create 0, Some w)
         end
   in
-  let record tag fields payload =
-    match writer with
-    | Some w -> J.add w { J.tag; fields; payload }
-    | None -> ()
-  in
-  (* Consecutive exhausted jobs per app; reset by a success, never by a
-     quarantined job (once open, the breaker stays open). *)
-  let breaker : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let app_failures app = Option.value (Hashtbl.find_opt breaker app) ~default:0 in
-  let process (job : job) =
+  (* [process ~app_failures ~record job] is shared by both drivers; the
+     driver decides where records go (straight to the journal, or a
+     per-job buffer flushed at completion) and where the per-app
+     consecutive-failure count lives (a shared table, or chain-local). *)
+  let cap_jobs = config.job_workers > 1 in
+  let process ~app_failures ~record (job : job) =
     Obs.Metric.incr obs_jobs;
     match Hashtbl.find_opt prior job.j_id with
     | Some { rs_terminal = Some st; _ } ->
@@ -423,7 +457,7 @@ let run ?journal ?(resume = false) ?(config = default_config) jobs =
         let prior_fails =
           match prior_state with Some s -> s.rs_fails | None -> []
         in
-        if app_failures job.j_app >= config.breaker_threshold then begin
+        if app_failures () >= config.breaker_threshold then begin
           Obs.Metric.incr obs_quarantined;
           Obs.Timeline.instant tl_quarantine ~arg:job.j_id;
           Obs.Logger.warn ~section:"supervise" (fun () ->
@@ -453,15 +487,14 @@ let run ?journal ?(resume = false) ?(config = default_config) jobs =
                   (fun () ->
                     match
                       Obs.Registry.with_span "job" (fun () ->
-                          run_attempt config job ~attempt ~sequential)
+                          run_attempt ?cache config job ~attempt ~sequential
+                            ~cap_jobs)
                     with
                     | r -> Ok r
                     | exception e -> Error e)
               in
               match outcome with
-              | Ok r ->
-                  let races = Hawkset.Report.to_json r.Hawkset.Pipeline.races in
-                  let truncs = List.length r.Hawkset.Pipeline.truncated in
+              | Ok (races, truncs) ->
                   record "done"
                     [
                       id;
@@ -508,39 +541,142 @@ let run ?journal ?(resume = false) ?(config = default_config) jobs =
           { jr_job = job; jr_status = st; jr_replayed = false }
         end
   in
-  let results = ref [] in
-  let processed = ref 0 in
-  let interrupted = ref false in
-  Fun.protect
-    ~finally:(fun () -> match writer with Some w -> J.close w | None -> ())
-    (fun () ->
-      Obs.Registry.with_span "batch" (fun () ->
-          List.iter
-            (fun job ->
-              if !interrupted then ()
-              else if
-                match config.stop_after with
-                | Some n -> !processed >= n
-                | None -> false
-              then interrupted := true
-              else begin
-                let res = process job in
-                incr processed;
-                (match res.jr_status with
-                | Gave_up _ ->
-                    Hashtbl.replace breaker job.j_app
-                      (app_failures job.j_app + 1)
-                | Done _ -> Hashtbl.replace breaker job.j_app 0
-                | Quarantined -> ());
-                results := res :: !results
-              end)
-            jobs));
+  (* One job at a time, declared order: records stream to the journal as
+     they happen, so a killed process keeps even a partial job's failed
+     attempts. *)
+  let run_sequential () =
+    let record tag fields payload =
+      match writer with
+      | Some w -> J.add w { J.tag; fields; payload }
+      | None -> ()
+    in
+    (* Consecutive exhausted jobs per app; reset by a success, never by a
+       quarantined job (once open, the breaker stays open). *)
+    let breaker : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let app_failures app =
+      Option.value (Hashtbl.find_opt breaker app) ~default:0
+    in
+    let results = ref [] in
+    let processed = ref 0 in
+    let interrupted = ref false in
+    List.iter
+      (fun job ->
+        if !interrupted then ()
+        else if
+          match config.stop_after with
+          | Some n -> !processed >= n
+          | None -> false
+        then interrupted := true
+        else begin
+          let res =
+            process ~app_failures:(fun () -> app_failures job.j_app) ~record job
+          in
+          incr processed;
+          (match res.jr_status with
+          | Gave_up _ ->
+              Hashtbl.replace breaker job.j_app (app_failures job.j_app + 1)
+          | Done _ -> Hashtbl.replace breaker job.j_app 0
+          | Quarantined -> ());
+          results := res :: !results
+        end)
+      jobs;
+    (List.rev !results, !interrupted)
+  in
+  (* Up to [job_workers] jobs in flight on the domain pool. The unit of
+     scheduling is the per-app *chain* (that app's jobs, declared order):
+     the breaker counts consecutive exhausted jobs of one app, so a chain
+     owns its count locally and every job's terminal status is exactly
+     what the sequential walk computes — which is what makes the merged
+     report byte-identical at any width. Journal records are buffered per
+     job and appended as one group at job completion (completion order
+     across jobs, declared order within one); [restore] keys replay by
+     job id, so the interleaving is immaterial. The price of buffering: a
+     kill loses in-flight jobs' partial attempts and resume re-runs them
+     from attempt 1 — deterministic, hence still byte-identical. *)
+  let run_concurrent () =
+    let jw = config.job_workers in
+    let pos = Hashtbl.create (List.length jobs) in
+    List.iteri (fun i j -> Hashtbl.replace pos j.j_id i) jobs;
+    let chains =
+      let tbl : (string, job list ref) Hashtbl.t = Hashtbl.create 8 in
+      let order = ref [] in
+      List.iter
+        (fun j ->
+          match Hashtbl.find_opt tbl j.j_app with
+          | Some r -> r := j :: !r
+          | None ->
+              let r = ref [ j ] in
+              Hashtbl.add tbl j.j_app r;
+              order := j.j_app :: !order)
+        jobs;
+      List.rev_map (fun app -> List.rev !(Hashtbl.find tbl app)) !order
+    in
+    let results = Array.make (List.length jobs) None in
+    let processed = Atomic.make 0 in
+    let stop = Atomic.make false in
+    let interrupted = Atomic.make false in
+    let limit =
+      match config.stop_after with Some n -> n | None -> max_int
+    in
+    let journal_lock = Mutex.create () in
+    let chain_task chain () =
+      let fails = ref 0 in
+      List.iter
+        (fun (job : job) ->
+          if Atomic.get stop || Atomic.get processed >= limit then begin
+            (* [stop_after] is a chaos hook: the check is racy across
+               chains (a few extra jobs may finish), but any skipped job
+               marks the batch interrupted, and resume-is-replay makes
+               the merged report independent of where the cut landed. *)
+            Atomic.set interrupted true;
+            Atomic.set stop true
+          end
+          else begin
+            let buffered = ref [] in
+            let record tag fields payload =
+              buffered := { J.tag; fields; payload } :: !buffered
+            in
+            let res = process ~app_failures:(fun () -> !fails) ~record job in
+            (match writer with
+            | Some w when !buffered <> [] ->
+                Mutex.lock journal_lock;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock journal_lock)
+                  (fun () -> List.iter (J.add w) (List.rev !buffered))
+            | Some _ | None -> ());
+            Atomic.incr processed;
+            (match res.jr_status with
+            | Gave_up _ -> incr fails
+            | Done _ -> fails := 0
+            | Quarantined -> ());
+            results.(Hashtbl.find pos job.j_id) <- Some res
+          end)
+        chain
+    in
+    let outcomes =
+      Hawkset.Domain_pool.run_queue
+        (Hawkset.Domain_pool.global ())
+        ~workers:jw
+        (Array.of_list (List.map (fun c -> chain_task c) chains))
+    in
+    Array.iter (function Error e -> raise e | Ok () -> ()) outcomes;
+    ( Array.to_list results |> List.filter_map Fun.id,
+      Atomic.get interrupted )
+  in
+  let results, interrupted =
+    Fun.protect
+      ~finally:(fun () -> match writer with Some w -> J.close w | None -> ())
+      (fun () ->
+        Obs.Registry.with_span "batch" (fun () ->
+            if config.job_workers > 1 then run_concurrent ()
+            else run_sequential ()))
+  in
   {
     b_fingerprint = fp;
     b_config = config;
     b_jobs = jobs;
-    b_results = List.rev !results;
-    b_interrupted = !interrupted;
+    b_results = results;
+    b_interrupted = interrupted;
   }
 
 (* --- merged report and summaries -------------------------------------- *)
@@ -652,6 +788,7 @@ let manifest b =
         ("attempts", string_of_int b.b_config.attempts);
         ("breaker", string_of_int b.b_config.breaker_threshold);
         ("fingerprint", b.b_fingerprint);
+        ("job_workers", string_of_int b.b_config.job_workers);
         ("pipeline_jobs", string_of_int b.b_config.pipeline_jobs);
         ("policies", uniq (fun j -> j.j_policy));
         ("seeds", uniq (fun j -> string_of_int j.j_seed));

@@ -96,6 +96,14 @@ type config = {
       (** Consecutive exhausted jobs of one app before quarantine
           (default 2). *)
   pipeline_jobs : int;  (** Stage-3 analysis domains per job. *)
+  job_workers : int;
+      (** Jobs in flight at once (default 1). With [> 1], per-app job
+          chains run concurrently on the domain pool and every job's
+          stage-3 analysis is forced sequential so total domains stay
+          bounded by the width; the merged report is byte-identical to
+          the [job_workers = 1] run (see DESIGN), so this knob — like
+          [pipeline_jobs] — trades only wall-clock time and is excluded
+          from the batch {!fingerprint}. *)
   faults : fault list;
   stop_after : int option;
       (** Chaos hook: stop the batch loop after this many jobs reach a
@@ -139,7 +147,9 @@ type batch = {
   b_config : config;
   b_jobs : job list;
   b_results : job_result list;
-      (** Job order; a prefix when [b_interrupted]. *)
+      (** Declared job order; a prefix when [b_interrupted] (with
+          [job_workers > 1] an interrupted batch keeps whichever jobs
+          reached a terminal state, still in declared order). *)
   b_interrupted : bool;  (** [stop_after] fired before the last job. *)
 }
 
@@ -157,16 +167,31 @@ val backoff_delay_ms : config -> job:int -> attempt:int -> int
     [backoff_ms = 0]. *)
 
 val run :
-  ?journal:string -> ?resume:bool -> ?config:config -> job list -> batch
-(** Execute the batch, one job at a time, under supervision. With
-    [journal] set, every attempt is recorded durably; with [resume:true]
-    as well, jobs already terminal in the journal are replayed from
-    their recorded bytes (partially-attempted jobs continue from their
-    next attempt), and the journal is extended in place. A damaged
-    journal tail (mid-write kill) is salvaged: valid records are kept,
-    the rest re-executed. Raises {!Resume_mismatch} when the journal
-    belongs to a different declaration, [Invalid_argument] on an
-    unknown app or policy in [jobs]. *)
+  ?journal:string ->
+  ?resume:bool ->
+  ?cache:Hawkset.Result_cache.t ->
+  ?config:config ->
+  job list ->
+  batch
+(** Execute the batch under supervision — one job at a time by default,
+    up to [config.job_workers] per-app chains concurrently otherwise.
+    With [journal] set, every attempt is recorded durably (sequential
+    mode streams records as they happen; concurrent mode appends each
+    job's records as one group at job completion, so completion order
+    across jobs is nondeterministic while replay stays keyed by job id);
+    with [resume:true] as well, jobs already terminal in the journal are
+    replayed from their recorded bytes (partially-attempted jobs
+    continue from their next attempt in sequential mode; concurrent mode
+    re-runs them from attempt 1 — deterministic, so the merged report is
+    unchanged), and the journal is extended in place. A damaged journal
+    tail (mid-write kill) is salvaged: valid records are kept, the rest
+    re-executed. With [cache] set, an attempt whose workload trace
+    fingerprint (plus analysis-config fingerprint) is cached skips
+    stages 2–3 and embeds the recorded report bytes — byte-identical,
+    since the cached bytes came from an identical trace. Raises
+    {!Resume_mismatch} when the journal belongs to a different
+    declaration, [Invalid_argument] on an unknown app or policy in
+    [jobs]. *)
 
 val merged_json : batch -> string
 (** The merged batch report (schema ["hawkset.batch_report/1"]): one

@@ -186,6 +186,46 @@ module Oracle_tests = struct
     let a = c () and b = c () in
     Alcotest.(check (list (pair string int))) "same counters" a b
 
+  (* A cache-enabled sweep must change nothing but wall-clock: same
+     per-schedule canonical reports, same coverage counters, oracle
+     still passing. A round-robin sweep (every schedule replays the same
+     interleaving) guarantees the cache actually hits. *)
+  let cache_changes_nothing () =
+    let config =
+      {
+        Explore.default_config with
+        Explore.schedules = 5;
+        policy = Explore.Round_robin;
+        ops = 120;
+      }
+    in
+    let plain = Explore.run ~config (entry "fast-fair") in
+    let cache = Hawkset.Result_cache.create () in
+    let cached =
+      Explore.run
+        ~config:{ config with Explore.cache = Some cache }
+        (entry "fast-fair")
+    in
+    Alcotest.(check bool) "stable with cache" true (Explore.stable cached);
+    Alcotest.(check (list (pair string int)))
+      "coverage counters identical"
+      (Explore.counters [ plain ])
+      (Explore.counters [ cached ]);
+    List.iter2
+      (fun (a : Explore.schedule_result) (b : Explore.schedule_result) ->
+        Alcotest.(check (list (pair string string)))
+          (Printf.sprintf "schedule %d canonical identical" a.Explore.s_index)
+          a.Explore.s_canonical b.Explore.s_canonical)
+      plain.Explore.x_results cached.Explore.x_results;
+    let stat name =
+      Option.value ~default:0
+        (List.assoc_opt name (Hawkset.Result_cache.stats cache))
+    in
+    (* Sequential sweep of 5 identical schedules: 1 miss, 4 hits. *)
+    Alcotest.(check int) "hits" 4 (stat "cache.hits");
+    Alcotest.(check int) "misses" 1 (stat "cache.misses");
+    Alcotest.(check int) "entries" 1 (stat "cache.entries")
+
   let policy_kind_strings () =
     List.iter
       (fun s ->
@@ -205,6 +245,7 @@ module Oracle_tests = struct
       Alcotest.test_case "oracle: p-masstree" `Slow (sweep_passes "p-masstree");
       Alcotest.test_case "oracle: pct-only" `Slow pct_sweep_passes;
       Alcotest.test_case "sweep deterministic" `Slow sweep_deterministic;
+      Alcotest.test_case "cache changes nothing" `Slow cache_changes_nothing;
       Alcotest.test_case "policy kind strings" `Quick policy_kind_strings;
     ]
 end

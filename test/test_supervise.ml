@@ -261,13 +261,14 @@ module Run_tests = struct
   let fault j cls times =
     { Supervise.f_job = j; f_class = cls; f_times = times }
 
-  let config ?(faults = []) ?stop_after ?(attempts = 3) () =
+  let config ?(faults = []) ?stop_after ?(attempts = 3) ?(job_workers = 1) () =
     {
       Supervise.default_config with
       Supervise.backoff_ms = 0;
       attempts;
       faults;
       stop_after;
+      job_workers;
     }
 
   let status_of i (b : Supervise.batch) =
@@ -470,6 +471,99 @@ module Run_tests = struct
           | _ -> false
           | exception Supervise.Resume_mismatch _ -> true))
 
+  (* --- job-level concurrency: byte-identity across widths --- *)
+
+  let concurrent_byte_identical () =
+    (* Same declaration, every fault class injected: four concurrent
+       per-app chains must reproduce the sequential walk byte for byte —
+       statuses (retries, degradation, the breaker) included. *)
+    let js = chaos_jobs () in
+    let seq = Supervise.run ~config:(config ~faults:chaos_faults ()) js in
+    let par =
+      Supervise.run ~config:(config ~faults:chaos_faults ~job_workers:4 ()) js
+    in
+    Alcotest.(check string) "merged report byte-identical"
+      (Supervise.merged_json seq)
+      (Supervise.merged_json par);
+    List.iteri
+      (fun i _ ->
+        Alcotest.(check string)
+          (Printf.sprintf "status %d" i)
+          (status_of i seq) (status_of i par))
+      js
+
+  let concurrent_breaker_quarantines () =
+    (* The breaker is per-app state; a chain running concurrently with
+       other apps' chains must quarantine exactly like the sequential
+       walk. *)
+    let js = jobs ~seeds:[ 1; 2; 3 ] () in
+    let faults =
+      [ fault 0 Supervise.Pipeline_exn 99; fault 1 Supervise.Pipeline_exn 99 ]
+    in
+    let b = Supervise.run ~config:(config ~faults ~job_workers:4 ()) js in
+    Alcotest.(check string) "first failed" "failed" (status_of 0 b);
+    Alcotest.(check string) "second failed" "failed" (status_of 1 b);
+    Alcotest.(check string) "third quarantined" "quarantined" (status_of 2 b)
+
+  let concurrent_kill_resume () =
+    (* A concurrent batch killed mid-flight and resumed concurrently
+       still reproduces the sequential golden report: completed jobs
+       replay from the journal by id, in-flight jobs re-run from
+       attempt 1. *)
+    let js = chaos_jobs () in
+    let golden = Supervise.run ~config:(config ~faults:chaos_faults ()) js in
+    with_tmp (fun journal ->
+        let killed =
+          Supervise.run ~journal
+            ~config:(config ~faults:chaos_faults ~stop_after:2 ~job_workers:4 ())
+            js
+        in
+        Alcotest.(check bool) "interrupted" true killed.Supervise.b_interrupted;
+        let resumed =
+          Supervise.run ~journal ~resume:true
+            ~config:(config ~faults:chaos_faults ~job_workers:4 ())
+            js
+        in
+        Alcotest.(check string) "byte-identical merged report"
+          (Supervise.merged_json golden)
+          (Supervise.merged_json resumed))
+
+  (* --- the result cache --- *)
+
+  let cache_preserves_report () =
+    (* A cache-enabled batch embeds cached bytes on hits; re-running the
+       same declaration against the same cache hits for every job and
+       still produces the identical merged report. *)
+    let js = chaos_jobs () in
+    let golden = Supervise.run ~config:(config ()) js in
+    let cache = Hawkset.Result_cache.create () in
+    let cold = Supervise.run ~cache ~config:(config ()) js in
+    Alcotest.(check string) "cold run identical"
+      (Supervise.merged_json golden)
+      (Supervise.merged_json cold);
+    Alcotest.(check bool) "cache populated" true
+      (Hawkset.Result_cache.length cache > 0);
+    let warm = Supervise.run ~cache ~config:(config ()) js in
+    Alcotest.(check string) "warm run identical"
+      (Supervise.merged_json golden)
+      (Supervise.merged_json warm);
+    let hits =
+      Option.value ~default:0
+        (List.assoc_opt "cache.hits" (Hawkset.Result_cache.stats cache))
+    in
+    Alcotest.(check bool) "warm run hit the cache" true (hits >= List.length js)
+
+  let cache_concurrent_identical () =
+    let js = chaos_jobs () in
+    let golden = Supervise.run ~config:(config ()) js in
+    let cache = Hawkset.Result_cache.create () in
+    let b =
+      Supervise.run ~cache ~config:(config ~job_workers:4 ()) js
+    in
+    Alcotest.(check string) "concurrent cached run identical"
+      (Supervise.merged_json golden)
+      (Supervise.merged_json b)
+
   let merged_json_shape () =
     let b =
       Supervise.run
@@ -512,6 +606,15 @@ module Run_tests = struct
         resume_survives_torn_tail;
       Alcotest.test_case "resume mismatch refused" `Quick
         resume_mismatch_refused;
+      Alcotest.test_case "concurrent byte-identical" `Quick
+        concurrent_byte_identical;
+      Alcotest.test_case "concurrent breaker quarantines" `Quick
+        concurrent_breaker_quarantines;
+      Alcotest.test_case "concurrent kill+resume byte-identical" `Quick
+        concurrent_kill_resume;
+      Alcotest.test_case "cache preserves report" `Quick cache_preserves_report;
+      Alcotest.test_case "concurrent cached run identical" `Quick
+        cache_concurrent_identical;
       Alcotest.test_case "merged json shape" `Quick merged_json_shape;
     ]
 end

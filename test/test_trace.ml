@@ -595,6 +595,156 @@ module Fuzz_tests = struct
     ]
 end
 
+module Int_tbl_tests = struct
+  module S = Trace.Int_tbl.Set
+  module M = Trace.Int_tbl.Map
+
+  let set_clear_refill_at_boundary () =
+    (* Fill a small table through several growths, clear, refill with a
+       disjoint key range: [clear] keeps capacity, so the refill lands in
+       the same arrays — membership must be exact for both ranges. *)
+    let t = S.create ~size:8 () in
+    for k = 0 to 63 do
+      Alcotest.(check bool) "fresh add" true (S.add t k)
+    done;
+    Alcotest.(check int) "filled" 64 (S.length t);
+    S.clear t;
+    Alcotest.(check int) "cleared" 0 (S.length t);
+    for k = 0 to 63 do
+      Alcotest.(check bool) "old key gone" false (S.mem t k)
+    done;
+    for k = 100 to 163 do
+      Alcotest.(check bool) "refill add" true (S.add t k)
+    done;
+    Alcotest.(check int) "refilled" 64 (S.length t);
+    for k = 100 to 163 do
+      Alcotest.(check bool) "new key present" true (S.mem t k)
+    done;
+    for k = 0 to 63 do
+      Alcotest.(check bool) "old key still gone" false (S.mem t k)
+    done
+
+  let set_churn_matches_model () =
+    (* Heavy delete/insert churn over a key range far wider than the
+       initial capacity, mirrored against a Hashtbl model: tombstone
+       reuse and the churn-triggered rehash must never lose or
+       resurrect a key. *)
+    let t = S.create ~size:8 () in
+    let model = Hashtbl.create 64 in
+    let rng = Random.State.make [| 7 |] in
+    for _ = 1 to 5_000 do
+      let k = Random.State.int rng 200 in
+      if Random.State.bool rng then begin
+        let fresh = not (Hashtbl.mem model k) in
+        Hashtbl.replace model k ();
+        Alcotest.(check bool) "add agrees with model" fresh (S.add t k)
+      end
+      else begin
+        let present = Hashtbl.mem model k in
+        Hashtbl.remove model k;
+        Alcotest.(check bool) "remove agrees with model" present (S.remove t k)
+      end
+    done;
+    Alcotest.(check int) "length agrees" (Hashtbl.length model) (S.length t);
+    for k = 0 to 199 do
+      Alcotest.(check bool)
+        (Printf.sprintf "mem %d agrees" k)
+        (Hashtbl.mem model k) (S.mem t k)
+    done
+
+  let map_churn_matches_model () =
+    let t = M.create ~size:8 () in
+    let model = Hashtbl.create 64 in
+    let rng = Random.State.make [| 11 |] in
+    for step = 1 to 5_000 do
+      let k = Random.State.int rng 200 in
+      if Random.State.bool rng then begin
+        Hashtbl.replace model k step;
+        M.set t k step
+      end
+      else begin
+        let present = Hashtbl.mem model k in
+        Hashtbl.remove model k;
+        Alcotest.(check bool) "remove agrees with model" present (M.remove t k)
+      end
+    done;
+    Alcotest.(check int) "length agrees" (Hashtbl.length model) (M.length t);
+    for k = 0 to 199 do
+      Alcotest.(check int)
+        (Printf.sprintf "find %d agrees" k)
+        (Option.value ~default:(-1) (Hashtbl.find_opt model k))
+        (M.find t k)
+    done
+
+  let map_tombstone_slot_reused () =
+    let t = M.create ~size:8 () in
+    M.set t 5 1;
+    Alcotest.(check bool) "removed" true (M.remove t 5);
+    Alcotest.(check int) "absent after remove" (-1) (M.find t 5);
+    Alcotest.(check bool) "second remove is a no-op" false (M.remove t 5);
+    M.set t 5 3;
+    Alcotest.(check int) "reinserted through the tombstone" 3 (M.find t 5);
+    Alcotest.(check int) "length" 1 (M.length t)
+
+  let tests =
+    [
+      Alcotest.test_case "set clear+refill at capacity" `Quick
+        set_clear_refill_at_boundary;
+      Alcotest.test_case "set churn matches model" `Quick
+        set_churn_matches_model;
+      Alcotest.test_case "map churn matches model" `Quick
+        map_churn_matches_model;
+      Alcotest.test_case "map tombstone slot reused" `Quick
+        map_tombstone_slot_reused;
+    ]
+end
+
+module Vec_tests = struct
+  module V = Trace.Vec
+
+  let growth_from_empty () =
+    let v = V.create () in
+    Alcotest.(check int) "starts empty" 0 (V.length v);
+    for i = 0 to 99 do
+      V.push v (i * 3)
+    done;
+    Alcotest.(check int) "length" 100 (V.length v);
+    for i = 0 to 99 do
+      Alcotest.(check int) (Printf.sprintf "get %d" i) (i * 3) (V.get v i)
+    done
+
+  let growth_from_one () =
+    (* The 1-element vector exercises the smallest doubling step: the
+       second push must grow, not overwrite. *)
+    let v = V.create () in
+    V.push v "a";
+    V.push v "b";
+    Alcotest.(check int) "length" 2 (V.length v);
+    Alcotest.(check string) "first survives growth" "a" (V.get v 0);
+    Alcotest.(check string) "second" "b" (V.get v 1)
+
+  let clear_then_refill () =
+    let v = V.create () in
+    for i = 0 to 9 do
+      V.push v i
+    done;
+    V.clear v;
+    Alcotest.(check int) "cleared" 0 (V.length v);
+    V.push v 42;
+    Alcotest.(check int) "refill length" 1 (V.length v);
+    Alcotest.(check int) "refill value" 42 (V.get v 0);
+    let seen = ref [] in
+    V.iter (fun x -> seen := x :: !seen) v;
+    Alcotest.(check (list int)) "iter sees only live elements" [ 42 ] !seen
+
+  let tests =
+    [
+      Alcotest.test_case "growth from empty" `Quick growth_from_empty;
+      Alcotest.test_case "growth from one element" `Quick growth_from_one;
+      Alcotest.test_case "clear then refill" `Quick clear_then_refill;
+    ]
+end
+
 let () =
   Alcotest.run "trace"
     [
@@ -604,5 +754,7 @@ let () =
       ("tracebuf", Tracebuf_tests.tests);
       ("interner", Interner_tests.tests);
       ("trace_io", Trace_io_tests.tests);
+      ("int_tbl", Int_tbl_tests.tests);
+      ("vec", Vec_tests.tests);
       ("fuzz", Fuzz_tests.tests);
     ]
