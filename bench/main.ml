@@ -802,6 +802,32 @@ let bench_json ?sweep ?batch_cache ~full () =
   close_out oc;
   Printf.printf "wrote %s (%d points)\n" file (List.length points)
 
+(* ---- conformance fuzz (the `check` target) ----
+   A bounded differential-fuzzing pass: production pipeline vs the
+   executable specification across the config matrix, with throughput
+   reported. Exits non-zero on any divergence — the same gate CI runs
+   through `hawkset check`, here sized for the bench driver. *)
+
+let check_smoke ~full =
+  let traces = if full then 5_000 else 500 in
+  let t0 = Unix.gettimeofday () in
+  let r = Check.Conformance.fuzz ~traces ~max_events:64 ~seed:42 () in
+  let dt = Unix.gettimeofday () -. t0 in
+  print_string (Harness.Tables.section "Conformance fuzz");
+  Printf.printf
+    "%d traces (%d events), %d comparisons in %.1fs (%.0f traces/s): %d \
+     divergent\n"
+    r.Check.Conformance.fz_traces r.Check.Conformance.fz_events
+    r.Check.Conformance.fz_comparisons dt
+    (float_of_int r.Check.Conformance.fz_traces /. dt)
+    (List.length r.Check.Conformance.fz_failures);
+  match r.Check.Conformance.fz_failures with
+  | [] -> ()
+  | (seed, _, d) :: _ ->
+      Printf.eprintf "check FAIL: seed %d diverged on %s\n" seed
+        d.Check.Conformance.d_variant;
+      exit 1
+
 let () =
   let args = Array.to_list Sys.argv in
   let full = List.mem "full" args || List.mem "--full" args in
@@ -810,7 +836,7 @@ let () =
     List.exists wants
       [ "table1"; "table2"; "table3"; "table4"; "figure6"; "ablation";
         "micro"; "par"; "json"; "--json"; "crash-sweep"; "perf-smoke";
-        "explore"; "batch-smoke"; "batch-par" ]
+        "explore"; "batch-smoke"; "batch-par"; "check" ]
   in
   let run name f = if (not any) || wants name then f ~full in
   run "table1" table1;
@@ -826,6 +852,8 @@ let () =
   if wants "explore" then explore_smoke ~full;
   (* `perf-smoke` is opt-in only: the CI regression gate. *)
   if wants "perf-smoke" then perf_smoke ~full;
+  (* `check` is opt-in only: it runs the full config matrix per trace. *)
+  if wants "check" then check_smoke ~full;
   (* `batch-smoke` is opt-in only: it runs the pipeline once per job,
      twice over (golden + kill/resume). *)
   if wants "batch-smoke" then batch_smoke ~full;

@@ -1078,6 +1078,180 @@ let ablation_cmd =
     (Cmd.info "ablation" ~doc:"Design-choice ablation study.")
     Term.(const go $ ops_arg 1500)
 
+let check_cmd =
+  let pp_divergence d =
+    Format.printf "  variant:  %s@." d.Check.Conformance.d_variant;
+    (match d.Check.Conformance.d_kind with
+    | `Crash ->
+        Format.printf "  crashed:  %s@." d.Check.Conformance.d_actual
+    | `Report ->
+        Format.printf "  expected: %s@." d.Check.Conformance.d_expected;
+        Format.printf "  actual:   %s@." d.Check.Conformance.d_actual)
+  in
+  let fuzz_mode ~traces ~max_events ~seed ~minimize ~fixtures =
+    let r = Check.Conformance.fuzz ~traces ~max_events ~seed () in
+    Format.printf
+      "conformance: %d traces (%d events), %d comparisons, %d divergent@."
+      r.Check.Conformance.fz_traces r.Check.Conformance.fz_events
+      r.Check.Conformance.fz_comparisons
+      (List.length r.Check.Conformance.fz_failures);
+    List.iter
+      (fun (s, t, d) ->
+        Format.printf "@.DIVERGENCE at seed %d (%d events):@." s
+          (Trace.Tracebuf.length t);
+        pp_divergence d;
+        if minimize then begin
+          let m = Check.Conformance.minimize t in
+          let path =
+            Check.Conformance.save_fixture ~dir:fixtures
+              ~name:(Printf.sprintf "check-seed%d" s)
+              m
+          in
+          Format.printf "  minimized to %d events -> %s@."
+            (Trace.Tracebuf.length m) path
+        end)
+      r.Check.Conformance.fz_failures;
+    r.Check.Conformance.fz_failures = []
+  in
+  let mutate_mode ~traces ~max_events ~seed ~minimize ~fixtures ~max_minimized
+      faults =
+    Format.printf "%-28s %-10s %-8s %-7s %-9s %s@." "fault" "layer" "caught"
+      "events" "minimized" "clean";
+    List.fold_left
+      (fun ok fault ->
+        let h = Check.Conformance.hunt ~traces ~max_events ~seed fault in
+        let caught, events, minimized, clean, this_ok =
+          match h.Check.Conformance.h_caught_seed with
+          | None -> ("MISSED", "-", "-", "-", false)
+          | Some s ->
+              let m = Option.get h.Check.Conformance.h_minimized in
+              let n = Trace.Tracebuf.length m in
+              if minimize then
+                ignore
+                  (Check.Conformance.save_fixture ~dir:fixtures
+                     ~name:
+                       ("mutate-" ^ Hawkset.Fault.name fault)
+                     m
+                    : string);
+              let clean = h.Check.Conformance.h_clean_without_fault in
+              ( Printf.sprintf "s=%d" s,
+                string_of_int h.Check.Conformance.h_original_events,
+                string_of_int n,
+                (if clean then "yes" else "NO"),
+                n <= max_minimized && clean )
+        in
+        Format.printf "%-28s %-10s %-8s %-7s %-9s %s@."
+          (Hawkset.Fault.name fault)
+          (Hawkset.Fault.layer fault)
+          caught events minimized clean;
+        (match h.Check.Conformance.h_divergence with
+        | Some d when not this_ok -> pp_divergence d
+        | Some _ | None -> ());
+        ok && this_ok)
+      true faults
+  in
+  let go () traces max_events seed mutate no_minimize fixtures max_minimized
+      stats stats_json trace_out =
+    start_timeline trace_out;
+    let minimize = not no_minimize in
+    Obs.Registry.reset Obs.Registry.global;
+    let ok =
+      match mutate with
+      | [] -> fuzz_mode ~traces ~max_events ~seed ~minimize ~fixtures
+      | faults ->
+          mutate_mode ~traces ~max_events ~seed ~minimize ~fixtures
+            ~max_minimized faults
+    in
+    let labels =
+      [ ("mode", if mutate = [] then "fuzz" else "mutate");
+        ("traces", string_of_int traces);
+        ("max_events", string_of_int max_events);
+        ("seed", string_of_int seed) ]
+    in
+    emit_stats ~stats ~stats_json
+      (finish_timeline trace_out
+         (Obs.Manifest.of_registry ~labels Obs.Registry.global));
+    if not ok then exit 1
+  in
+  let traces =
+    Arg.(
+      value & opt int 1000
+      & info [ "traces" ] ~docv:"N"
+          ~doc:"Generated traces per fuzzing run (per fault in --mutate).")
+  in
+  let max_events =
+    Arg.(
+      value & opt int 64
+      & info [ "max-events" ] ~docv:"N"
+          ~doc:"Maximum events per generated trace.")
+  in
+  let mutate =
+    let all_names =
+      String.concat ", " (List.map Hawkset.Fault.name Hawkset.Fault.all)
+    in
+    Arg.(
+      value & opt_all string []
+      & info [ "mutate" ] ~docv:"FAULT"
+          ~doc:
+            (Printf.sprintf
+               "Self-test: arm the named kernel fault and assert the fuzzer \
+                catches and minimizes it (repeatable; $(b,all) arms every \
+                fault in turn). Faults: %s."
+               all_names))
+  in
+  let no_minimize =
+    Arg.(
+      value & flag
+      & info [ "no-minimize" ]
+          ~doc:
+            "Report divergences without delta-debugging them down to \
+             minimal reproducers (skips fixture writing too).")
+  in
+  let fixtures =
+    Arg.(
+      value
+      & opt string "test/fixtures"
+      & info [ "fixtures" ] ~docv:"DIR"
+          ~doc:"Directory minimized reproducers are written to.")
+  in
+  let max_minimized =
+    Arg.(
+      value & opt int 30
+      & info [ "max-minimized" ] ~docv:"N"
+          ~doc:
+            "Fail --mutate when a minimized reproducer exceeds $(docv) \
+             events.")
+  in
+  let mutate_resolved =
+    let resolve names =
+      List.concat_map
+        (fun s ->
+          if s = "all" then Hawkset.Fault.all
+          else
+            match Hawkset.Fault.of_name s with
+            | Ok f -> [ f ]
+            | Error msg ->
+                Format.eprintf "hawkset check: %s@." msg;
+                exit 2)
+        names
+    in
+    Term.(const resolve $ mutate)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differential conformance fuzzing: generate synthetic traces and \
+          assert the production pipeline's reports are byte-identical to \
+          the naive executable specification across the full configuration \
+          matrix (jobs, memo and dedup implementations, result cache, \
+          event budgets). Divergent traces are delta-debugged to minimal \
+          reproducers. With $(b,--mutate), seeded kernel faults prove the \
+          oracle catches real divergences. Exits 1 on any divergence or \
+          uncaught fault.")
+    Term.(const go $ logging_term $ traces $ max_events $ seed_arg
+          $ mutate_resolved $ no_minimize $ fixtures $ max_minimized
+          $ stats_arg $ stats_json_arg $ trace_out_arg)
+
 let () =
   let info =
     Cmd.info "hawkset" ~version:"1.0.0"
@@ -1087,9 +1261,9 @@ let () =
   in
   let group =
     Cmd.group info
-      [ run_cmd; batch_cmd; list_cmd; bugs_cmd; explain_cmd; trace_cmd;
-        analyze_cmd; explore_cmd; crash_sweep_cmd; table2_cmd; table3_cmd;
-        table4_cmd; figure6_cmd; ablation_cmd ]
+      [ run_cmd; batch_cmd; check_cmd; list_cmd; bugs_cmd; explain_cmd;
+        trace_cmd; analyze_cmd; explore_cmd; crash_sweep_cmd; table2_cmd;
+        table3_cmd; table4_cmd; figure6_cmd; ablation_cmd ]
   in
   (* [~catch:false] so damaged inputs reach this handler: a bad trace file
      is an input problem (exit 2, one-line diagnostic), not a crash. *)

@@ -1,0 +1,169 @@
+(* The address space is two cache lines, so stores collide, flushes
+   cover many unrelated open windows, and word-crossing accesses are
+   common. Sites are drawn from small pools shared by all threads so the
+   same (store site, load site) pair witnesses repeatedly — exercising
+   report aggregation, not just report creation. *)
+
+let base_addr = 128 (* start of line 2 *)
+let span = 2 * Pmem.Layout.line_size (* bytes 128..383: lines 2 and 3 *)
+let lock_ids = 3
+let store_lines = 10 (* store sites: gen:1 .. gen:10 *)
+let load_lines = 10 (* load sites: gen:11 .. gen:20 *)
+
+let site_file = "gen"
+let store_site rs = Trace.Site.v site_file (1 + Random.State.int rs store_lines)
+
+let load_site rs =
+  Trace.Site.v site_file (store_lines + 1 + Random.State.int rs load_lines)
+
+let sizes = [| 1; 2; 4; 8; 8; 8; 16 |]
+
+let pick_addr rs size =
+  let addr = base_addr + Random.State.int rs (span - size + 1) in
+  (* Half the accesses are word-aligned (the common case in real code);
+     the rest land anywhere, crossing word and line boundaries. *)
+  if Random.State.bool rs then
+    max base_addr (addr - (addr mod Pmem.Layout.word_size))
+  else addr
+
+let line_of addr = addr - (addr mod Pmem.Layout.line_size)
+
+let store_ev rs tid =
+  let size = sizes.(Random.State.int rs (Array.length sizes)) in
+  let addr = pick_addr rs size in
+  Trace.Event.Store
+    { tid; addr; size; site = store_site rs;
+      non_temporal = Random.State.int rs 8 = 0 }
+
+let load_ev rs tid =
+  let size = sizes.(Random.State.int rs (Array.length sizes)) in
+  let addr = pick_addr rs size in
+  Trace.Event.Load { tid; addr; size; site = load_site rs }
+
+let flush_ev rs tid =
+  let kinds = [| Trace.Event.Clwb; Trace.Event.Clflushopt; Trace.Event.Clflush |] in
+  let addr = base_addr + Random.State.int rs span in
+  Trace.Event.Flush
+    { tid; line = line_of addr; kind = kinds.(Random.State.int rs 3);
+      site = Trace.Site.none }
+
+let fence_ev tid = Trace.Event.Fence { tid; site = Trace.Site.none }
+
+(* One atomic script chunk: a self-contained event run that can be kept
+   or dropped whole, so trimming to the event budget never unbalances a
+   lock section or splits a persist idiom. *)
+let rec chunk rs ~depth tid =
+  match Random.State.int rs (if depth >= 2 then 10 else 12) with
+  | 0 | 1 | 2 -> [ store_ev rs tid ]
+  | 3 | 4 | 5 -> [ load_ev rs tid ]
+  | 6 ->
+      (* The canonical persist idiom: store, flush its line, fence. *)
+      let st = store_ev rs tid in
+      let addr =
+        match st with Trace.Event.Store { addr; _ } -> addr | _ -> assert false
+      in
+      [ st;
+        Trace.Event.Flush
+          { tid; line = line_of addr; kind = Trace.Event.Clwb;
+            site = Trace.Site.none };
+        fence_ev tid ]
+  | 7 -> [ flush_ev rs tid ]
+  | 8 -> [ fence_ev tid ]
+  | 9 -> [ flush_ev rs tid; fence_ev tid ]
+  | _ ->
+      (* Lock section (possibly nested, possibly reentrant on the same
+         lock): acquire, 1-3 chunks, release. *)
+      let lock = Trace.Lock_id.of_int (Random.State.int rs lock_ids) in
+      let body =
+        List.concat
+          (List.init
+             (1 + Random.State.int rs 3)
+             (fun _ -> chunk rs ~depth:(depth + 1) tid))
+      in
+      (Trace.Event.Lock_acquire { tid; lock; site = Trace.Site.none } :: body)
+      @ [ Trace.Event.Lock_release { tid; lock; site = Trace.Site.none } ]
+
+let gen ?(max_events = 64) rs =
+  let workers = 1 + Random.State.int rs 4 in
+  let tids = Array.init (workers + 1) Trace.Tid.of_int in
+  (* Per-thread scripts (index 0 = main), sized to the budget: every
+     worker costs a create (and usually a join), so scripts share what
+     remains. *)
+  let overhead = 2 * workers in
+  let budget = max 4 (max_events - overhead) in
+  let scripts =
+    Array.init (workers + 1) (fun i ->
+        let share = max 2 (budget / (workers + 1)) in
+        let q = Queue.create () in
+        let n = ref 0 in
+        while !n < share do
+          let c = chunk rs ~depth:0 tids.(i) in
+          if !n = 0 || !n + List.length c <= share then begin
+            List.iter (fun e -> Queue.add e q) c;
+            n := !n + List.length c
+          end
+          else n := share (* would overflow: stop this script *)
+        done;
+        q)
+  in
+  let buf = Trace.Tracebuf.create () in
+  let created = Array.make (workers + 1) false in
+  created.(0) <- true;
+  let emitted = ref 0 in
+  let emit e =
+    if !emitted < max_events then begin
+      Trace.Tracebuf.push buf e;
+      incr emitted
+    end
+  in
+  (* Random fair drain: each step either runs one event of a created
+     thread or creates a not-yet-created worker. A worker whose create
+     has not been emitted never runs. *)
+  let runnable () =
+    let r = ref [] in
+    for i = workers downto 0 do
+      if created.(i) && not (Queue.is_empty scripts.(i)) then r := i :: !r
+    done;
+    !r
+  in
+  let uncreated () =
+    let r = ref [] in
+    for i = workers downto 1 do
+      if not created.(i) then r := i :: !r
+    done;
+    !r
+  in
+  let continue = ref true in
+  while !continue && !emitted < max_events do
+    let run = runnable () and mk = uncreated () in
+    let choices = List.length run + List.length mk in
+    if choices = 0 then continue := false
+    else begin
+      let k = Random.State.int rs choices in
+      if k < List.length run then
+        emit (Queue.pop scripts.(List.nth run k))
+      else begin
+        let i = List.nth mk (k - List.length run) in
+        created.(i) <- true;
+        emit (Trace.Event.Thread_create { parent = tids.(0); child = tids.(i) })
+      end
+    end
+  done;
+  (* Join most created workers (in random order); some stay unjoined —
+     their windows are open at exit and concurrent with everything
+     later. *)
+  for i = 1 to workers do
+    if created.(i) && Random.State.int rs 5 > 0 then
+      emit (Trace.Event.Thread_join { waiter = tids.(0); joined = tids.(i) })
+  done;
+  buf
+
+let trace ?max_events ~seed () =
+  gen ?max_events (Random.State.make [| 0x9e3779b9; seed |])
+
+let print t =
+  String.concat "\n"
+    (List.map Trace.Trace_io.event_to_line (Trace.Tracebuf.to_list t))
+
+let arbitrary ?max_events () =
+  QCheck.make ~print (fun rs -> gen ?max_events rs)

@@ -1,0 +1,29 @@
+(** Synthetic trace generator for the conformance fuzzer.
+
+    Generates well-formed event sequences — valid thread ids (every
+    worker's events are preceded by its [Thread_create]), balanced lock
+    nesting per thread, a bounded address space — that deliberately
+    explore shapes no [lib/apps] workload reaches: unaligned and
+    word-crossing accesses of mixed sizes, partial overlaps, flushes
+    without fences and fences without flushes, flushes of lines nobody
+    stored to, reentrant lock sections, unjoined threads, loads of
+    never-stored words, and sites shared across threads and operations
+    (so reports aggregate multiple witnessing pairs).
+
+    All randomness comes from the supplied [Random.State.t], so a trace
+    is a pure function of its seed. *)
+
+val gen : ?max_events:int -> Random.State.t -> Trace.Tracebuf.t
+(** Generate one trace of at most [max_events] events (default 64). *)
+
+val trace : ?max_events:int -> seed:int -> unit -> Trace.Tracebuf.t
+(** [trace ~seed ()] is the deterministic trace of [seed]. *)
+
+val arbitrary : ?max_events:int -> unit -> Trace.Tracebuf.t QCheck.arbitrary
+(** QCheck wrapper around {!gen} (no shrinker — the delta-debugging
+    minimizer in {!Check} owns shrinking), printing traces in the
+    {!Trace.Trace_io} line format. *)
+
+val print : Trace.Tracebuf.t -> string
+(** The trace in {!Trace.Trace_io} line format (what a saved fixture
+    contains, minus the trailer). *)

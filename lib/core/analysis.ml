@@ -145,6 +145,20 @@ module Kernel = struct
     + Array.length c.Collector.loads_of.(wi)
       * Array.length c.Collector.windows_of.(wi)
 
+  (* Fault injection points for [hawkset check --mutate]. The faulted
+     value is what gets memoized, so a seeded fault stays self-consistent
+     within one analysis — only the verdicts (or, for the key fault, the
+     table addressing) are wrong. Disarmed, each probe is one ref read. *)
+  let raw_disjoint ~tables a b =
+    Fault.on Fault.Drop_lockset_intersection
+    || Lockset.disjoint_locks
+         (Access.Ls_table.get tables.Access.ls a)
+         (Access.Ls_table.get tables.Access.ls b)
+
+  let pair_key a b =
+    let a = if Fault.on Fault.Widen_packed_key then a land 1 else a in
+    Trace.Packed_key.pair a b
+
   (* Memoized comparisons on interned ids (§4: "direct comparison"). *)
   let disjoint ~tables ~memo a b =
     memo.ls_lookups <- memo.ls_lookups + 1;
@@ -152,14 +166,10 @@ module Kernel = struct
       memo.m_packed && a <= Trace.Packed_key.pair_max
       && b <= Trace.Packed_key.pair_max
     then begin
-      let key = Trace.Packed_key.pair a b in
+      let key = pair_key a b in
       match Trace.Int_tbl.Map.find memo.p_disjoint key with
       | -1 ->
-          let r =
-            Lockset.disjoint_locks
-              (Access.Ls_table.get tables.Access.ls a)
-              (Access.Ls_table.get tables.Access.ls b)
-          in
+          let r = raw_disjoint ~tables a b in
           Trace.Int_tbl.Map.set memo.p_disjoint key (Bool.to_int r);
           r
       | v -> v <> 0
@@ -169,11 +179,7 @@ module Kernel = struct
       match Hashtbl.find_opt memo.t_disjoint key with
       | Some r -> r
       | None ->
-          let r =
-            Lockset.disjoint_locks
-              (Access.Ls_table.get tables.Access.ls a)
-              (Access.Ls_table.get tables.Access.ls b)
-          in
+          let r = raw_disjoint ~tables a b in
           Hashtbl.add memo.t_disjoint key r;
           r
     end
@@ -184,7 +190,7 @@ module Kernel = struct
       memo.m_packed && a <= Trace.Packed_key.pair_max
       && b <= Trace.Packed_key.pair_max
     then begin
-      let key = Trace.Packed_key.pair a b in
+      let key = pair_key a b in
       match Trace.Int_tbl.Map.find memo.p_leq key with
       | -1 ->
           let r =
@@ -217,7 +223,8 @@ module Kernel = struct
      store. *)
   let may_overlap_window ~features ~tables ~memo (w : Access.window)
       (l : Access.load) =
-    (not features.vector_clocks)
+    Fault.on Fault.Skip_vclock_check
+    || (not features.vector_clocks)
     || (not (leq ~tables ~memo l.Access.l_vec w.Access.w_store_vec))
        &&
        match w.Access.w_end_vec with

@@ -218,7 +218,8 @@ let get_cell st word ~tid =
     c
   end
   else begin
-    let c = make_cell ~pub:tid word in
+    let pub = if Fault.on Fault.Publish_before_touch then pub_published else tid in
+    let c = make_cell ~pub word in
     Trace.Int_tbl.Map.set st.cell_idx word (Trace.Vec.length st.cell_list);
     Trace.Vec.push st.cell_list c;
     c

@@ -1,0 +1,62 @@
+type t =
+  | Drop_lockset_intersection
+  | Skip_vclock_check
+  | Widen_packed_key
+  | Publish_before_touch
+  | Last_witness_wins
+
+let all =
+  [ Drop_lockset_intersection;
+    Skip_vclock_check;
+    Widen_packed_key;
+    Publish_before_touch;
+    Last_witness_wins ]
+
+let name = function
+  | Drop_lockset_intersection -> "drop-lockset-intersection"
+  | Skip_vclock_check -> "skip-vclock-check"
+  | Widen_packed_key -> "widen-packed-key"
+  | Publish_before_touch -> "publish-before-touch"
+  | Last_witness_wins -> "last-witness-wins"
+
+let of_name s =
+  match List.find_opt (fun f -> String.equal (name f) s) all with
+  | Some f -> Ok f
+  | None ->
+      Error
+        (Printf.sprintf "unknown fault %S (valid: %s)" s
+           (String.concat ", " (List.map name all)))
+
+let layer = function
+  | Drop_lockset_intersection | Skip_vclock_check -> "analysis"
+  | Widen_packed_key -> "memo"
+  | Publish_before_touch -> "collector"
+  | Last_witness_wins -> "report"
+
+let describe = function
+  | Drop_lockset_intersection ->
+      "lockset disjointness always passes; common locks no longer \
+       suppress reports"
+  | Skip_vclock_check ->
+      "happens-before window filter skipped; ordered pairs reported as \
+       concurrent"
+  | Widen_packed_key ->
+      "packed memo pair key keeps only the low bit of its first id, \
+       colliding distinct pairs"
+  | Publish_before_touch ->
+      "every word is born published; the initialization removal \
+       heuristic never fires"
+  | Last_witness_wins ->
+      "report aggregation overwrites the witness on merge instead of \
+       keeping the first"
+
+let armed : t option ref = ref None
+let set f = armed := f
+let get () = !armed
+
+let on f = match !armed with None -> false | Some g -> g == f
+
+let with_fault f thunk =
+  let saved = !armed in
+  armed := Some f;
+  Fun.protect ~finally:(fun () -> armed := saved) thunk

@@ -46,6 +46,12 @@ let add ?witness t ~store_site ~load_site ~store_tid ~load_tid ~addr
              occurrences = 1; witness = Option.map (fun f -> f ()) witness }
           :: acc)
     | r :: rest when same_pair r ~store_site ~load_site ->
+        let r =
+          if Fault.on Fault.Last_witness_wins then
+            { r with store_tid; load_tid; addr; window_end;
+              witness = Option.map (fun f -> f ()) witness }
+          else r
+        in
         List.rev_append acc ({ r with occurrences = r.occurrences + 1 } :: rest)
     | r :: rest -> go (r :: acc) rest
   in

@@ -1,0 +1,278 @@
+(* Algebraic property tests for the two foundational lattices of the
+   analysis: timestamped locksets (§3.1.2) and vector clocks.  Every law
+   here is one the kernel silently relies on — e.g. lockset-intersection
+   commutativity is what makes the effective lockset independent of
+   whether the store or its persist is folded first, and vclock join
+   being a least upper bound is what makes thread join sound. *)
+
+module Lockset = Hawkset.Lockset
+module Vclock = Hawkset.Vclock
+
+(* Deep QCheck runs bump the iteration count via the environment (the
+   @fuzz alias sets it); tier-1 stays fast and fixed-seed. *)
+let count =
+  match Sys.getenv_opt "HAWKSET_QCHECK_COUNT" with
+  | Some s -> (try int_of_string s with _ -> 200)
+  | None -> 200
+
+(* Tier-1 is deterministic without any CI plumbing: the QCheck seed is
+   fixed here, QCHECK_SEED still overrides for reproducing a report. *)
+let rand =
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> (try int_of_string s with _ -> 1844674407)
+    | None -> 1844674407
+  in
+  Random.State.make [| seed |]
+
+let to_alcotest t = QCheck_alcotest.to_alcotest ~rand t
+
+(* --- generators ------------------------------------------------------- *)
+
+(* Locksets built through the public API only: a fold of acquires (with
+   small timestamps, so same-lock-same-ts collisions actually happen)
+   and releases over a small lock universe. *)
+let lockset_of_ops ops =
+  List.fold_left
+    (fun ls op ->
+      match op with
+      | `Acq (l, ts) -> Lockset.acquire ls (Trace.Lock_id.of_int l) ~ts
+      | `Rel l -> Lockset.release ls (Trace.Lock_id.of_int l))
+    Lockset.empty ops
+
+let gen_lockset =
+  QCheck.Gen.(
+    let op =
+      frequency
+        [
+          (3, map2 (fun l ts -> `Acq (l, ts)) (int_bound 7) (int_bound 5));
+          (1, map (fun l -> `Rel l) (int_bound 7));
+        ]
+    in
+    map lockset_of_ops (list_size (int_bound 12) op))
+
+let arb_lockset = QCheck.make ~print:(Format.asprintf "%a" Lockset.pp) gen_lockset
+let arb_ls2 = QCheck.pair arb_lockset arb_lockset
+let arb_ls3 = QCheck.triple arb_lockset arb_lockset arb_lockset
+
+(* Vector clocks built from tick/merge over a handful of threads.  Pairs
+   share a random common prefix so comparable, equal and concurrent
+   clocks all appear with useful frequency. *)
+let vclock_of_ticks ticks = List.fold_left Vclock.tick Vclock.zero ticks
+
+let gen_ticks = QCheck.Gen.(list_size (int_bound 10) (int_bound 4))
+
+let gen_vclock_pair =
+  QCheck.Gen.(
+    map3
+      (fun common a b ->
+        let base = vclock_of_ticks common in
+        (List.fold_left Vclock.tick base a, List.fold_left Vclock.tick base b))
+      gen_ticks gen_ticks gen_ticks)
+
+let print_vc v = Format.asprintf "%a" Vclock.pp v
+
+let arb_vclock =
+  QCheck.make ~print:print_vc (QCheck.Gen.map vclock_of_ticks gen_ticks)
+
+let arb_vc2 = QCheck.make ~print:(QCheck.Print.pair print_vc print_vc) gen_vclock_pair
+
+let arb_vc3 =
+  QCheck.make
+    ~print:(fun (a, b, c) ->
+      QCheck.Print.triple print_vc print_vc print_vc (a, b, c))
+    QCheck.Gen.(
+      map2
+        (fun (a, b) c -> (a, b, c))
+        gen_vclock_pair
+        (map vclock_of_ticks gen_ticks))
+
+let locks_of ls = List.map Trace.Lock_id.to_int (Lockset.locks ls)
+
+(* --- lockset laws ----------------------------------------------------- *)
+
+module Lockset_laws = struct
+  let t name arb f = QCheck.Test.make ~name ~count arb f
+
+  let inter_commutative =
+    t "inter_same_thread commutative" arb_ls2 (fun (a, b) ->
+        Lockset.equal (Lockset.inter_same_thread a b)
+          (Lockset.inter_same_thread b a))
+
+  let inter_associative =
+    t "inter_same_thread associative" arb_ls3 (fun (a, b, c) ->
+        Lockset.equal
+          (Lockset.inter_same_thread a (Lockset.inter_same_thread b c))
+          (Lockset.inter_same_thread (Lockset.inter_same_thread a b) c))
+
+  let inter_idempotent =
+    t "inter_same_thread idempotent" arb_lockset (fun a ->
+        Lockset.equal (Lockset.inter_same_thread a a) a)
+
+  let inter_empty_absorbing =
+    t "empty absorbs intersection" arb_lockset (fun a ->
+        Lockset.is_empty (Lockset.inter_same_thread a Lockset.empty)
+        && Lockset.is_empty (Lockset.inter_same_thread Lockset.empty a))
+
+  (* Monotonicity: intersecting can only shrink the lockset, and every
+     survivor was a member of both sides. *)
+  let inter_monotone =
+    t "inter_same_thread monotone (result within both)" arb_ls2
+      (fun (a, b) ->
+        let i = Lockset.inter_same_thread a b in
+        Lockset.cardinal i <= min (Lockset.cardinal a) (Lockset.cardinal b)
+        && List.for_all
+             (fun l ->
+               Lockset.mem a (Trace.Lock_id.of_int l)
+               && Lockset.mem b (Trace.Lock_id.of_int l))
+             (locks_of i))
+
+  let inter_no_ts_commutative =
+    t "inter_same_thread_no_ts commutative on lock sets" arb_ls2
+      (fun (a, b) ->
+        locks_of (Lockset.inter_same_thread_no_ts a b)
+        = locks_of (Lockset.inter_same_thread_no_ts b a))
+
+  (* The ts-aware intersection refines the identity-only one: dropping
+     timestamps first makes the two agree. *)
+  let inter_refines_no_ts =
+    t "inter_same_thread refines no_ts variant" arb_ls2 (fun (a, b) ->
+        let with_ts = locks_of (Lockset.inter_same_thread a b) in
+        let no_ts = locks_of (Lockset.inter_same_thread_no_ts a b) in
+        List.for_all (fun l -> List.mem l no_ts) with_ts
+        && locks_of
+             (Lockset.inter_same_thread (Lockset.strip_ts a)
+                (Lockset.strip_ts b))
+           = no_ts)
+
+  let disjoint_symmetric =
+    t "disjoint_locks symmetric" arb_ls2 (fun (a, b) ->
+        Lockset.disjoint_locks a b = Lockset.disjoint_locks b a)
+
+  (* disjoint_locks ignores timestamps: it agrees with emptiness of the
+     identity-only intersection (Algorithm 1 line 18). *)
+  let disjoint_is_empty_inter =
+    t "disjoint_locks = empty no_ts intersection" arb_ls2 (fun (a, b) ->
+        Lockset.disjoint_locks a b
+        = Lockset.is_empty (Lockset.inter_same_thread_no_ts a b))
+
+  let strip_preserves_locks =
+    t "strip_ts preserves lock identity" arb_lockset (fun a ->
+        locks_of (Lockset.strip_ts a) = locks_of a
+        && Lockset.equal
+             (Lockset.strip_ts (Lockset.strip_ts a))
+             (Lockset.strip_ts a))
+
+  let hash_respects_equal =
+    t "hash respects equality" arb_ls2 (fun (a, b) ->
+        (not (Lockset.equal a b)) || Lockset.hash a = Lockset.hash b)
+
+  (* Reentrant acquire keeps the outermost timestamp (the atomic-section
+     delimiter of §3.1.2). *)
+  let reacquire_keeps_ts =
+    t "reacquire keeps the original timestamp" arb_lockset (fun a ->
+        let l = Trace.Lock_id.of_int 0 in
+        let first = Lockset.acquire a l ~ts:1 in
+        Lockset.equal first (Lockset.acquire first l ~ts:99))
+
+  let tests =
+    List.map to_alcotest
+      [
+        inter_commutative; inter_associative; inter_idempotent;
+        inter_empty_absorbing; inter_monotone; inter_no_ts_commutative;
+        inter_refines_no_ts; disjoint_symmetric; disjoint_is_empty_inter;
+        strip_preserves_locks; hash_respects_equal; reacquire_keeps_ts;
+      ]
+end
+
+(* --- vclock laws ------------------------------------------------------ *)
+
+module Vclock_laws = struct
+  let t name arb f = QCheck.Test.make ~name ~count arb f
+
+  let merge_commutative =
+    t "merge commutative" arb_vc2 (fun (a, b) ->
+        Vclock.equal (Vclock.merge a b) (Vclock.merge b a))
+
+  let merge_associative =
+    t "merge associative" arb_vc3 (fun (a, b, c) ->
+        Vclock.equal
+          (Vclock.merge a (Vclock.merge b c))
+          (Vclock.merge (Vclock.merge a b) c))
+
+  let merge_idempotent =
+    t "merge idempotent" arb_vclock (fun a ->
+        Vclock.equal (Vclock.merge a a) a)
+
+  let merge_zero_identity =
+    t "zero is merge identity" arb_vclock (fun a ->
+        Vclock.equal (Vclock.merge a Vclock.zero) a
+        && Vclock.equal (Vclock.merge Vclock.zero a) a)
+
+  let leq_reflexive = t "leq reflexive" arb_vclock (fun a -> Vclock.leq a a)
+
+  (* Happens-before antisymmetry: mutual ordering collapses to equality,
+     so "a happened before b" and "b happened before a" can never both
+     hold of distinct operations. *)
+  let leq_antisymmetric =
+    t "leq antisymmetric (happens-before)" arb_vc2 (fun (a, b) ->
+        (not (Vclock.leq a b && Vclock.leq b a)) || Vclock.equal a b)
+
+  let leq_transitive =
+    t "leq transitive" arb_vc3 (fun (a, b, c) ->
+        (not (Vclock.leq a b && Vclock.leq b c)) || Vclock.leq a c)
+
+  (* Join is a least upper bound, not just any upper bound. *)
+  let merge_is_lub =
+    t "merge is the least upper bound" arb_vc3 (fun (a, b, c) ->
+        let j = Vclock.merge a b in
+        Vclock.leq a j && Vclock.leq b j
+        && ((not (Vclock.leq a c && Vclock.leq b c)) || Vclock.leq j c))
+
+  let tick_strictly_increases =
+    t "tick strictly increases" arb_vclock (fun a ->
+        let a' = Vclock.tick a 2 in
+        Vclock.leq a a'
+        && (not (Vclock.leq a' a))
+        && Vclock.get a' 2 = Vclock.get a 2 + 1)
+
+  let concurrent_symmetric =
+    t "concurrent symmetric" arb_vc2 (fun (a, b) ->
+        Vclock.concurrent a b = Vclock.concurrent b a)
+
+  let concurrent_iff_incomparable =
+    t "concurrent = incomparable under leq" arb_vc2 (fun (a, b) ->
+        Vclock.concurrent a b
+        = ((not (Vclock.leq a b)) && not (Vclock.leq b a)))
+
+  let never_self_concurrent =
+    t "never concurrent with itself" arb_vclock (fun a ->
+        not (Vclock.concurrent a a))
+
+  let canonical_no_trailing_zeros =
+    t "to_list is canonical (no trailing zeros)" arb_vclock (fun a ->
+        match List.rev (Vclock.to_list a) with
+        | [] -> true
+        | last :: _ -> last <> 0)
+
+  let hash_respects_equal =
+    t "hash respects equality" arb_vc2 (fun (a, b) ->
+        (not (Vclock.equal a b)) || Vclock.hash a = Vclock.hash b)
+
+  let tests =
+    List.map to_alcotest
+      [
+        merge_commutative; merge_associative; merge_idempotent;
+        merge_zero_identity; leq_reflexive; leq_antisymmetric; leq_transitive;
+        merge_is_lub; tick_strictly_increases; concurrent_symmetric;
+        concurrent_iff_incomparable; never_self_concurrent;
+        canonical_no_trailing_zeros; hash_respects_equal;
+      ]
+end
+
+let () =
+  Alcotest.run "algebra"
+    [
+      ("lockset", Lockset_laws.tests);
+      ("vclock", Vclock_laws.tests);
+    ]

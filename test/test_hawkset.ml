@@ -845,9 +845,10 @@ module Reference_tests = struct
       ~count:300 arb_trace
       (fun trace ->
         let collected = Hawkset.Collector.collect ~irh trace in
-        Hawkset.Reference.same_races
-          (Hawkset.Analysis.analyse collected)
-          (Hawkset.Reference.analyse collected))
+        (* Full-JSON equality: same races, same occurrence counts, same
+           witnesses, same order — not just the same (store, load) set. *)
+        Hawkset.Report.to_json (Hawkset.Analysis.analyse collected)
+        = Hawkset.Report.to_json (Hawkset.Reference.analyse collected))
 
   let sanity () =
     (* The generator does produce racy traces sometimes. *)

@@ -2,10 +2,7 @@
    find-or-create and reset semantics, span nesting, delta arithmetic,
    logger gating, JSON emission and manifest round-trips. *)
 
-let contains ~needle hay =
-  let nl = String.length needle and hl = String.length hay in
-  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-  nl = 0 || go 0
+module Mini_json = Test_util.Mini_json
 
 (* --- Json ------------------------------------------------------------- *)
 
@@ -234,17 +231,32 @@ module Manifest_tests = struct
         ~gauges:[ ("peak_live_mb", 1.5) ]
         ()
     in
-    let j = Obs.Manifest.to_json m in
-    List.iter
-      (fun needle ->
-        Alcotest.(check bool) ("contains " ^ needle) true (contains ~needle j))
-      [
-        {|"schema":"hawkset.run_manifest/1"|};
-        {|"app":"fast-fair"|};
-        {|"collector.events":12|};
-        {|"name":"run/collect"|};
-        {|"peak_live_mb"|};
-      ];
+    (* Parse the emitted JSON back and assert on structure, not on
+       substrings of the serialization. *)
+    let j = Mini_json.parse (Obs.Manifest.to_json m) in
+    Alcotest.(check string)
+      "schema" "hawkset.run_manifest/1"
+      (Mini_json.str_mem "schema" j);
+    Alcotest.(check string)
+      "app label" "fast-fair"
+      (Mini_json.str_mem "app" (Mini_json.member "labels" j));
+    Alcotest.(check int)
+      "collector.events counter" 12
+      (int_of_float
+         (Mini_json.num_mem "collector.events" (Mini_json.member "counters" j)));
+    (match Mini_json.to_list (Mini_json.member "stages" j) with
+    | [ stage ] ->
+        Alcotest.(check string)
+          "stage name" "run/collect"
+          (Mini_json.str_mem "name" stage);
+        Alcotest.(check (float 1e-9))
+          "stage seconds" 0.25
+          (Mini_json.num_mem "seconds" stage)
+    | stages -> Alcotest.fail (Printf.sprintf "%d stages" (List.length stages)));
+    Alcotest.(check bool)
+      "peak_live_mb gauge present" true
+      (Mini_json.member_opt "peak_live_mb" (Mini_json.member "gauges" j)
+      <> None);
     Alcotest.(check (option int))
       "counter accessor" (Some 12)
       (Obs.Manifest.counter m "collector.events");
@@ -259,11 +271,12 @@ module Manifest_tests = struct
         ~gauges:[ ("seconds", 3.2) ]
         ()
     in
-    let j = Obs.Manifest.counters_json m in
-    Alcotest.(check bool) "has counters" true (contains ~needle:{|"a":1|} j);
-    Alcotest.(check bool)
-      "no gauges" false
-      (contains ~needle:"seconds" j)
+    let j = Mini_json.parse (Obs.Manifest.counters_json m) in
+    Alcotest.(check int)
+      "has counters" 1
+      (int_of_float (Mini_json.num_mem "a" j));
+    Alcotest.(check (list string))
+      "counters only — no gauge keys" [ "a" ] (Mini_json.keys j)
 
   let of_registry () =
     let r = Obs.Registry.create () in

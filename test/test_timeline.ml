@@ -4,10 +4,7 @@
    ones, the Chrome-trace export is valid JSON with per-lane monotone
    timestamps, and every analysis report carries a witness. *)
 
-let contains ~needle hay =
-  let nl = String.length needle and hl = String.length hay in
-  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-  nl = 0 || go 0
+let contains = Test_util.contains
 
 let entry =
   match Pmapps.Registry.find "fast-fair" with
@@ -200,128 +197,7 @@ end
 
 (* --- Chrome-trace export ---------------------------------------------- *)
 
-(* A minimal JSON reader — enough to round-trip the exporter's output and
-   fail loudly on malformed text. *)
-module Mini_json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  exception Bad of string
-
-  let parse s =
-    let n = String.length s in
-    let pos = ref 0 in
-    let peek () = if !pos < n then s.[!pos] else raise (Bad "eof") in
-    let advance () = incr pos in
-    let skip_ws () =
-      while !pos < n && (match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false) do
-        advance ()
-      done
-    in
-    let expect c =
-      if peek () <> c then
-        raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
-      advance ()
-    in
-    let literal lit v =
-      String.iter (fun c -> expect c) lit;
-      v
-    in
-    let parse_string () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec go () =
-        match peek () with
-        | '"' -> advance ()
-        | '\\' ->
-            advance ();
-            (match peek () with
-            | 'n' -> Buffer.add_char b '\n'
-            | 't' -> Buffer.add_char b '\t'
-            | 'u' ->
-                advance (); advance (); advance ();
-                Buffer.add_char b '?'
-            | c -> Buffer.add_char b c);
-            advance ();
-            go ()
-        | c ->
-            Buffer.add_char b c;
-            advance ();
-            go ()
-      in
-      go ();
-      Buffer.contents b
-    in
-    let parse_number () =
-      let start = !pos in
-      while
-        !pos < n
-        && (match s.[!pos] with
-           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-           | _ -> false)
-      do
-        advance ()
-      done;
-      if !pos = start then raise (Bad "empty number");
-      float_of_string (String.sub s start (!pos - start))
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | '{' ->
-          advance ();
-          skip_ws ();
-          if peek () = '}' then begin advance (); Obj [] end
-          else begin
-            let rec members acc =
-              skip_ws ();
-              let k = parse_string () in
-              skip_ws ();
-              expect ':';
-              let v = parse_value () in
-              skip_ws ();
-              match peek () with
-              | ',' -> advance (); members ((k, v) :: acc)
-              | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
-              | c -> raise (Bad (Printf.sprintf "bad object char %c" c))
-            in
-            members []
-          end
-      | '[' ->
-          advance ();
-          skip_ws ();
-          if peek () = ']' then begin advance (); Arr [] end
-          else begin
-            let rec elements acc =
-              let v = parse_value () in
-              skip_ws ();
-              match peek () with
-              | ',' -> advance (); elements (v :: acc)
-              | ']' -> advance (); Arr (List.rev (v :: acc))
-              | c -> raise (Bad (Printf.sprintf "bad array char %c" c))
-            in
-            elements []
-          end
-      | '"' -> Str (parse_string ())
-      | 't' -> literal "true" (Bool true)
-      | 'f' -> literal "false" (Bool false)
-      | 'n' -> literal "null" Null
-      | _ -> Num (parse_number ())
-    in
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then raise (Bad "trailing garbage");
-    v
-
-  let member k = function
-    | Obj kvs -> List.assoc k kvs
-    | _ -> raise (Bad ("not an object looking up " ^ k))
-end
+module Mini_json = Test_util.Mini_json
 
 module Export_tests = struct
   let export () =
